@@ -1,0 +1,77 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -fig all            # everything (slow: full Table 2 suite)
+//	experiments -fig fig1 -quick    # Figure 1 on a reduced suite
+//	experiments -fig table1         # print the baseline configuration
+//
+// Output is plain text shaped like the paper's figures; EXPERIMENTS.md
+// records a captured run against the published numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "what to produce: table1, table2, fig1..fig6, or all")
+	quick := flag.Bool("quick", false, "reduced suite (3 workloads/group, shorter traces)")
+	traceLen := flag.Int("tracelen", 0, "override per-thread trace length")
+	perGroup := flag.Int("pergroup", 0, "override workloads per group (0 = all)")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	groups := flag.String("groups", "", "comma-separated group filter (e.g. MEM2,MEM4)")
+	flag.Parse()
+
+	opt := experiments.Default()
+	if *quick {
+		opt = experiments.Quick()
+	}
+	if *traceLen > 0 {
+		opt.TraceLen = *traceLen
+	}
+	if *perGroup > 0 {
+		opt.PerGroup = *perGroup
+	}
+	if *groups != "" {
+		opt.Groups = strings.Split(*groups, ",")
+	}
+	opt.Seed = *seed
+
+	s := experiments.NewSession(opt)
+	want := strings.ToLower(*fig)
+	all := want == "all"
+
+	emit := func(name string, f func() (fmt.Stringer, error)) {
+		if !all && want != name {
+			return
+		}
+		start := time.Now()
+		r, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(r.String())
+		fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if all || want == "table1" {
+		fmt.Println(experiments.Table1())
+	}
+	if all || want == "table2" {
+		fmt.Println(experiments.Table2())
+	}
+	emit("fig1", func() (fmt.Stringer, error) { return s.Fig1() })
+	emit("fig2", func() (fmt.Stringer, error) { return s.Fig2() })
+	emit("fig3", func() (fmt.Stringer, error) { return s.Fig3() })
+	emit("fig4", func() (fmt.Stringer, error) { return s.Fig4() })
+	emit("fig5", func() (fmt.Stringer, error) { return s.Fig5() })
+	emit("fig6", func() (fmt.Stringer, error) { return s.Fig6() })
+}

@@ -1,0 +1,108 @@
+// Command smtsim runs one multiprogrammed workload on the simulated SMT
+// processor and prints per-thread statistics — the equivalent of one
+// SMTSIM invocation in the paper's methodology.
+//
+// Usage:
+//
+//	smtsim -threads art,mcf -policy RaT
+//	smtsim -threads art,mcf,swim,twolf -policy FLUSH -tracelen 30000
+//	smtsim -list                      # show available benchmarks/policies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	threads := flag.String("threads", "art,mcf", "comma-separated benchmark names (1-8 threads)")
+	policy := flag.String("policy", "RaT", "fetch/resource policy")
+	traceLen := flag.Int("tracelen", 20000, "per-thread trace length")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	regs := flag.Int("regs", 0, "override INT/FP physical register file size")
+	fair := flag.Bool("fairness", false, "also run single-thread references and report fairness")
+	list := flag.Bool("list", false, "list benchmarks and policies, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:", strings.Join(trace.Names(), " "))
+		var pols []string
+		for _, p := range core.Policies() {
+			pols = append(pols, string(p))
+		}
+		fmt.Println("policies:  ", strings.Join(pols, " "),
+			"(plus ablations: RaT-noprefetch RaT-nofetch RaT-racache RaT-nofpinv)")
+		return
+	}
+
+	names := strings.Split(*threads, ",")
+	for _, n := range names {
+		if _, ok := trace.Lookup(n); !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (try -list)\n", n)
+			os.Exit(1)
+		}
+	}
+	w := workload.Workload{Group: "custom", Benchmarks: names}
+
+	cfg := core.DefaultConfig()
+	cfg.Policy = core.PolicyKind(*policy)
+	cfg.TraceLen = *traceLen
+	cfg.Seed = *seed
+	if *regs > 0 {
+		cfg.Pipeline.IntRegs = *regs
+		cfg.Pipeline.FPRegs = *regs
+	}
+
+	res, err := core.Run(cfg, w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload %s under %s: %d cycles (measurement window)\n\n",
+		w.Name(), res.Policy, res.Cycles)
+	tb := report.NewTable("per-thread results",
+		"thread", "benchmark", "committed", "IPC", "L2miss/kinst",
+		"RA-episodes", "prefetches", "regs(norm)", "regs(RA)")
+	for i, t := range res.Threads {
+		missPerK := 0.0
+		if t.Committed > 0 {
+			missPerK = 1000 * float64(t.L2MissLoads) / float64(t.Committed)
+		}
+		tb.AddRow(
+			fmt.Sprintf("%d", i), t.Benchmark,
+			fmt.Sprintf("%d", t.Committed),
+			report.F(t.IPC),
+			fmt.Sprintf("%.1f", missPerK),
+			fmt.Sprintf("%d", t.RunaheadEpisodes),
+			fmt.Sprintf("%d", t.PrefetchesIssued),
+			fmt.Sprintf("%.0f", t.RegsNormal),
+			fmt.Sprintf("%.0f", t.RegsRunahead),
+		)
+	}
+	fmt.Println(tb.String())
+	fmt.Printf("throughput (avg IPC): %s\n", report.F(metrics.Throughput(res.IPCs())))
+	fmt.Printf("executed instructions (energy proxy): %d\n", res.ExecutedTotal)
+	if res.Truncated {
+		fmt.Println("warning: run truncated at the cycle limit before FAME coverage")
+	}
+
+	if *fair {
+		st := core.NewSTCache(cfg)
+		stv, err := st.STVector(w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("fairness (vs single-thread ICOUNT): %s\n",
+			report.F(metrics.Fairness(stv, res.IPCs())))
+	}
+}

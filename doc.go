@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Runahead Threads to
+// Improve SMT Performance" (Ramírez, Pajuelo, Santana, Valero; HPCA 2008).
+//
+// The repository contains a cycle-level SMT out-of-order processor
+// simulator (internal/pipeline) configured per the paper's Table 1, the
+// Runahead Threads mechanism that is the paper's contribution
+// (internal/runahead plus the pipeline's dispatch/issue/commit hooks),
+// every baseline policy it compares against (internal/policy: STALL,
+// FLUSH; internal/rescontrol: DCRA, Hill Climbing), synthetic calibrated
+// stand-ins for the SPEC CPU2000 workloads (internal/trace,
+// internal/workload), the paper's metrics and FAME measurement methodology
+// (internal/metrics, internal/core), and a harness that regenerates every
+// figure of the evaluation (internal/experiments, cmd/experiments).
+//
+// Start with README.md for a tour, DESIGN.md for the architecture and the
+// substitutions made for unavailable artifacts, and EXPERIMENTS.md for the
+// measured-versus-published comparison of every table and figure.
+package repro

@@ -1,0 +1,60 @@
+// Memory-level-parallelism anatomy: why runahead helps art much more than
+// mcf.
+//
+// art streams through memory: its load addresses come from induction
+// variables, so when art runs ahead past a miss, every future stream load
+// still has a computable address and becomes a prefetch. mcf chases
+// pointers: a load's address IS the previous load's result, so once the
+// triggering miss poisons its destination, the dependent loads fold as
+// invalid and nothing can be prefetched. The paper's §2 credits exactly
+// this distinction — and it is why the MLP-aware-fetch related work (with
+// its bounded lookahead) leaves distant MLP on the table.
+//
+// Run with:
+//
+//	go run ./examples/memboundmlp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.TraceLen = 15_000
+
+	fmt.Println("single-thread runahead anatomy (Table 1 machine):")
+	fmt.Printf("\n%-8s %10s %10s %12s %14s %12s\n",
+		"bench", "IPC(base)", "IPC(RaT)", "episodes", "prefetch/ep", "speedup")
+	for _, bench := range []string{"art", "swim", "mcf", "parser"} {
+		w := workload.Workload{Group: "ST", Benchmarks: []string{bench}}
+
+		cfg.Policy = core.PolicyICount
+		base, err := core.Run(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Policy = core.PolicyRaT
+		rat, err := core.Run(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		t := rat.Threads[0]
+		perEp := 0.0
+		if t.RunaheadEpisodes > 0 {
+			perEp = float64(t.PrefetchesIssued) / float64(t.RunaheadEpisodes)
+		}
+		fmt.Printf("%-8s %10.3f %10.3f %12d %14.1f %11.1f%%\n",
+			bench, base.Threads[0].IPC, t.IPC, t.RunaheadEpisodes, perEp,
+			100*(t.IPC/base.Threads[0].IPC-1))
+	}
+
+	fmt.Println("\nStreaming benchmarks (art, swim) issue many prefetches per episode;")
+	fmt.Println("pointer chasers (mcf, parser) fold their dependent loads as INV and")
+	fmt.Println("gain mainly from passing mispredicted miss-dependent branches.")
+}

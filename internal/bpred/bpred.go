@@ -1,0 +1,263 @@
+// Package bpred implements the branch direction predictors used by the
+// simulator's fetch stage.
+//
+// The paper's baseline (Table 1) uses a perceptron predictor, implemented
+// here after Jiménez & Lin, "Dynamic branch prediction with perceptrons"
+// (HPCA 2001). Gshare and bimodal predictors are provided as comparators
+// for tests and ablation benchmarks.
+//
+// All predictors share one interface so the pipeline is agnostic:
+// Predict(pc) returns the guess, Update(pc, taken) trains after resolution.
+// In an SMT the predictor tables are shared between threads (as in the real
+// machines the paper models); the global history register, however, is
+// per-thread, which callers obtain by constructing one Predictor per
+// hardware context sharing a common table via the *Shared constructors.
+package bpred
+
+// Predictor is a branch direction predictor.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the resolved direction. Callers
+	// invoke it in program order at branch resolution.
+	Update(pc uint64, taken bool)
+}
+
+// --- Perceptron predictor --------------------------------------------------
+
+const (
+	// historyLen is the global history length. 28 bits is within the range
+	// the perceptron paper evaluates for ~4KB budgets.
+	historyLen = 28
+	// weightMax/weightMin saturate the 8-bit signed weights.
+	weightMax = 127
+	weightMin = -128
+)
+
+// perceptronTheta is the optimal training threshold from the perceptron
+// paper, floor(1.93*h + 14), computed for historyLen at init time (the
+// expression is float-valued so it cannot be a typed integer constant).
+var perceptronTheta = func() int32 {
+	h := float64(historyLen)
+	return int32(1.93*h + 14)
+}()
+
+// perceptronTable is the shared weight storage. Separate from the
+// per-thread history so SMT contexts can share it.
+type perceptronTable struct {
+	rows  [][historyLen + 1]int16
+	mask  uint64
+	theta int32
+}
+
+// Perceptron is a perceptron branch predictor with a per-instance global
+// history register (one instance per hardware thread) over a (possibly
+// shared) weight table.
+type Perceptron struct {
+	table   *perceptronTable
+	history uint64 // bit i = outcome of i-th most recent branch (1 = taken)
+}
+
+// NewPerceptron builds a private-table perceptron predictor with the given
+// number of perceptron rows (rounded up to a power of two).
+func NewPerceptron(rows int) *Perceptron {
+	return &Perceptron{table: newPerceptronTable(rows)}
+}
+
+// NewPerceptronShared builds n predictors (one per thread) sharing one
+// weight table, the standard SMT arrangement.
+func NewPerceptronShared(rows, n int) []*Perceptron {
+	t := newPerceptronTable(rows)
+	out := make([]*Perceptron, n)
+	for i := range out {
+		out[i] = &Perceptron{table: t}
+	}
+	return out
+}
+
+func newPerceptronTable(rows int) *perceptronTable {
+	n := 1
+	for n < rows {
+		n <<= 1
+	}
+	return &perceptronTable{
+		rows:  make([][historyLen + 1]int16, n),
+		mask:  uint64(n - 1),
+		theta: perceptronTheta,
+	}
+}
+
+// index hashes a PC to a table row.
+func (t *perceptronTable) index(pc uint64) uint64 {
+	return (pc >> 2) & t.mask
+}
+
+// output computes the perceptron dot product for pc under history h.
+func (t *perceptronTable) output(pc, h uint64) int32 {
+	w := &t.rows[t.index(pc)]
+	y := int32(w[0]) // bias weight
+	for i := 0; i < historyLen; i++ {
+		if h>>uint(i)&1 == 1 {
+			y += int32(w[i+1])
+		} else {
+			y -= int32(w[i+1])
+		}
+	}
+	return y
+}
+
+// Predict returns the sign of the perceptron output.
+func (p *Perceptron) Predict(pc uint64) bool {
+	return p.table.output(pc, p.history) >= 0
+}
+
+// Update trains weights when the prediction was wrong or weakly confident,
+// then shifts the outcome into this thread's history register.
+func (p *Perceptron) Update(pc uint64, taken bool) {
+	t := p.table
+	y := t.output(pc, p.history)
+	pred := y >= 0
+	if pred != taken || abs32(y) <= t.theta {
+		w := &t.rows[t.index(pc)]
+		w[0] = saturate(w[0], taken)
+		for i := 0; i < historyLen; i++ {
+			agree := (p.history>>uint(i)&1 == 1) == taken
+			w[i+1] = saturate(w[i+1], agree)
+		}
+	}
+	p.history = p.history<<1 | b2u(taken)
+}
+
+// --- Gshare ---------------------------------------------------------------
+
+// gshareTable is the shared 2-bit counter array.
+type gshareTable struct {
+	counters []uint8
+	mask     uint64
+}
+
+// Gshare is a gshare predictor (XOR of PC and global history into 2-bit
+// saturating counters), with per-instance history.
+type Gshare struct {
+	table   *gshareTable
+	history uint64
+	bits    uint
+}
+
+// NewGshare builds a private gshare predictor with 2^logSize counters.
+func NewGshare(logSize uint) *Gshare {
+	return &Gshare{
+		table: &gshareTable{
+			counters: make([]uint8, 1<<logSize),
+			mask:     1<<logSize - 1,
+		},
+		bits: logSize,
+	}
+}
+
+// NewGshareShared builds n gshare predictors over one counter table.
+func NewGshareShared(logSize uint, n int) []*Gshare {
+	t := &gshareTable{counters: make([]uint8, 1<<logSize), mask: 1<<logSize - 1}
+	out := make([]*Gshare, n)
+	for i := range out {
+		out[i] = &Gshare{table: t, bits: logSize}
+	}
+	return out
+}
+
+func (g *Gshare) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ g.history) & g.table.mask
+}
+
+// Predict consults the 2-bit counter.
+func (g *Gshare) Predict(pc uint64) bool {
+	return g.table.counters[g.index(pc)] >= 2
+}
+
+// Update bumps the counter and shifts history.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	c := &g.table.counters[g.index(pc)]
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+	g.history = (g.history<<1 | b2u(taken)) & g.table.mask
+}
+
+// --- Bimodal ----------------------------------------------------------------
+
+// Bimodal is a PC-indexed table of 2-bit saturating counters — the
+// history-less baseline.
+type Bimodal struct {
+	counters []uint8
+	mask     uint64
+}
+
+// NewBimodal builds a bimodal predictor with 2^logSize counters.
+func NewBimodal(logSize uint) *Bimodal {
+	return &Bimodal{counters: make([]uint8, 1<<logSize), mask: 1<<logSize - 1}
+}
+
+// Predict consults the counter for pc.
+func (b *Bimodal) Predict(pc uint64) bool {
+	return b.counters[(pc>>2)&b.mask] >= 2
+}
+
+// Update bumps the counter for pc.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	c := &b.counters[(pc>>2)&b.mask]
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+// --- Static ----------------------------------------------------------------
+
+// Static always predicts the same direction; useful as a degenerate
+// baseline in tests.
+type Static struct {
+	// Taken is the fixed prediction.
+	Taken bool
+}
+
+// Predict returns the fixed direction.
+func (s Static) Predict(uint64) bool { return s.Taken }
+
+// Update is a no-op.
+func (s Static) Update(uint64, bool) {}
+
+// --- helpers ----------------------------------------------------------------
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func saturate(w int16, up bool) int16 {
+	if up {
+		if w < weightMax {
+			return w + 1
+		}
+		return w
+	}
+	if w > weightMin {
+		return w - 1
+	}
+	return w
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

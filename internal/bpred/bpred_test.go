@@ -1,0 +1,229 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// accuracy trains p on a synthetic branch stream and returns the fraction
+// of correct predictions over the second half (after warmup).
+func accuracy(p Predictor, gen func(i int) (pc uint64, taken bool), n int) float64 {
+	correct, counted := 0, 0
+	for i := 0; i < n; i++ {
+		pc, taken := gen(i)
+		pred := p.Predict(pc)
+		if i >= n/2 {
+			counted++
+			if pred == taken {
+				correct++
+			}
+		}
+		p.Update(pc, taken)
+	}
+	return float64(correct) / float64(counted)
+}
+
+func TestPerceptronLearnsBiasedBranches(t *testing.T) {
+	r := rng.New(1)
+	p := NewPerceptron(1024)
+	// 64 static branches, 95% biased.
+	bias := make([]float64, 64)
+	for i := range bias {
+		if i%10 == 0 {
+			bias[i] = 0.5
+		} else if i%2 == 0 {
+			bias[i] = 0.95
+		} else {
+			bias[i] = 0.05
+		}
+	}
+	acc := accuracy(p, func(i int) (uint64, bool) {
+		b := r.Intn(64)
+		return uint64(0x1000 + b*4), r.Bool(bias[b])
+	}, 100000)
+	if acc < 0.85 {
+		t.Fatalf("perceptron accuracy %v on biased stream, want >= 0.85", acc)
+	}
+}
+
+func TestPerceptronLearnsHistoryPattern(t *testing.T) {
+	// A strict alternating pattern is linearly separable on history; the
+	// perceptron must learn it nearly perfectly while bimodal cannot.
+	gen := func(i int) (uint64, bool) { return 0x4000, i%2 == 0 }
+	perc := accuracy(NewPerceptron(256), gen, 20000)
+	bim := accuracy(NewBimodal(10), gen, 20000)
+	if perc < 0.98 {
+		t.Fatalf("perceptron accuracy %v on alternating pattern, want >= 0.98", perc)
+	}
+	if bim > 0.7 {
+		t.Fatalf("bimodal accuracy %v on alternating pattern, expected poor", bim)
+	}
+}
+
+func TestGshareLearnsHistoryPattern(t *testing.T) {
+	gen := func(i int) (uint64, bool) { return 0x4000, i%4 < 2 }
+	if acc := accuracy(NewGshare(12), gen, 40000); acc < 0.95 {
+		t.Fatalf("gshare accuracy %v on period-4 pattern", acc)
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	r := rng.New(2)
+	acc := accuracy(NewBimodal(12), func(i int) (uint64, bool) {
+		b := r.Intn(32)
+		return uint64(b * 4), b%2 == 0
+	}, 20000)
+	if acc < 0.98 {
+		t.Fatalf("bimodal accuracy %v on fully biased branches", acc)
+	}
+}
+
+func TestPerceptronWeightsSaturate(t *testing.T) {
+	p := NewPerceptron(16)
+	// Hammer one branch always-taken; weights must stay in [-128,127].
+	for i := 0; i < 10000; i++ {
+		p.Predict(0x100)
+		p.Update(0x100, true)
+	}
+	for _, row := range p.table.rows {
+		for _, w := range row {
+			if w < weightMin || w > weightMax {
+				t.Fatalf("weight %d escaped saturation range", w)
+			}
+		}
+	}
+}
+
+func TestSaturateProperty(t *testing.T) {
+	f := func(w int16, up bool) bool {
+		// saturate must clamp its input into range and move by at most 1.
+		in := w
+		if in > weightMax {
+			in = weightMax
+		}
+		if in < weightMin {
+			in = weightMin
+		}
+		out := saturate(in, up)
+		if out < weightMin || out > weightMax {
+			return false
+		}
+		d := int32(out) - int32(in)
+		return d >= -1 && d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedTableSeparateHistories(t *testing.T) {
+	ps := NewPerceptronShared(256, 2)
+	if ps[0].table != ps[1].table {
+		t.Fatal("shared constructor did not share the table")
+	}
+	ps[0].Update(0x100, true)
+	if ps[0].history == ps[1].history {
+		t.Fatal("update to one thread's history leaked into the other")
+	}
+
+	gs := NewGshareShared(10, 2)
+	if gs[0].table != gs[1].table {
+		t.Fatal("gshare shared constructor did not share the table")
+	}
+	gs[0].Update(0x100, true)
+	if gs[0].history == gs[1].history {
+		t.Fatal("gshare history leaked across threads")
+	}
+}
+
+func TestSharedTableCrossThreadInterference(t *testing.T) {
+	// Two threads hammering the same PC with opposite outcomes should
+	// degrade each other — the point of modelling a shared table.
+	ps := NewPerceptronShared(16, 2)
+	solo := NewPerceptron(16)
+	n := 20000
+	correct := 0
+	for i := 0; i < n; i++ {
+		if solo.Predict(0x40) == (i%2 == 0) {
+			// solo sees thread 0's stream only
+		}
+		solo.Update(0x40, true)
+
+		if ps[0].Predict(0x40) {
+			correct++
+		}
+		ps[0].Update(0x40, true)
+		ps[1].Update(0x40, false)
+	}
+	// No assertion on exact numbers — just require it runs and the shared
+	// predictor is not perfect while solo converges to always-taken.
+	if !solo.Predict(0x40) {
+		t.Fatal("solo predictor failed to learn always-taken")
+	}
+	if correct == n {
+		t.Log("shared predictor unaffected by interference (acceptable but unusual)")
+	}
+}
+
+func TestStaticPredictor(t *testing.T) {
+	s := Static{Taken: true}
+	if !s.Predict(0) {
+		t.Fatal("static taken predicted not-taken")
+	}
+	s.Update(0, false) // must not panic or change anything
+	if !s.Predict(0) {
+		t.Fatal("static predictor mutated by Update")
+	}
+}
+
+func TestTableSizesRoundUp(t *testing.T) {
+	p := NewPerceptron(100)
+	if len(p.table.rows) != 128 {
+		t.Fatalf("rows = %d, want next power of two 128", len(p.table.rows))
+	}
+}
+
+func TestPredictorsDeterministic(t *testing.T) {
+	mk := func() []Predictor {
+		return []Predictor{NewPerceptron(64), NewGshare(10), NewBimodal(10)}
+	}
+	a, b := mk(), mk()
+	r1, r2 := rng.New(3), rng.New(3)
+	for i := 0; i < 5000; i++ {
+		pc := uint64(r1.Intn(256) * 4)
+		taken := r1.Bool(0.6)
+		pc2 := uint64(r2.Intn(256) * 4)
+		taken2 := r2.Bool(0.6)
+		for j := range a {
+			if a[j].Predict(pc) != b[j].Predict(pc2) {
+				t.Fatalf("predictor %d diverged at step %d", j, i)
+			}
+			a[j].Update(pc, taken)
+			b[j].Update(pc2, taken2)
+		}
+	}
+}
+
+func BenchmarkPerceptronPredictUpdate(b *testing.B) {
+	p := NewPerceptron(1024)
+	r := rng.New(1)
+	pcs := make([]uint64, 1024)
+	for i := range pcs {
+		pcs[i] = uint64(r.Intn(4096) * 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := pcs[i&1023]
+		p.Update(pc, p.Predict(pc))
+	}
+}
+
+func BenchmarkGsharePredictUpdate(b *testing.B) {
+	g := NewGshare(14)
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i&4095) * 4
+		g.Update(pc, g.Predict(pc))
+	}
+}

@@ -1,0 +1,359 @@
+// Package core is the simulator façade: it wires traces, policies, the
+// pipeline and the measurement methodology into one callable API. This is
+// the package examples and the experiment harness program against.
+//
+// A Run executes one multiprogrammed workload under one policy on the
+// Table 1 machine, measured FAME-style (Vera et al., PACT 2007): every
+// thread's trace re-executes in a loop, and the measurement window closes
+// only when each thread has completed at least MinIterations full trace
+// executions, so no thread is under-represented in the reported IPCs.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pipeline"
+	"repro/internal/policy"
+	"repro/internal/rescontrol"
+	"repro/internal/runahead"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// PolicyKind selects the fetch/resource policy for a run.
+type PolicyKind string
+
+// The evaluated policies: the paper's baselines (ICOUNT, STALL, FLUSH from
+// §5.1; DCRA, HillClimbing from §5.2), the RaT proposal, and the Figure 4
+// ablation variants.
+const (
+	PolicyRR           PolicyKind = "RR"
+	PolicyICount       PolicyKind = "ICOUNT"
+	PolicySTALL        PolicyKind = "STALL"
+	PolicyFLUSH        PolicyKind = "FLUSH"
+	PolicyDCRA         PolicyKind = "DCRA"
+	PolicyHillClimbing PolicyKind = "HillClimbing"
+	PolicyRaT          PolicyKind = "RaT"
+	// PolicyRaTNoPrefetch is Figure 4's "RaT without prefetching": runahead
+	// periods happen but no access below the L1 is made during them.
+	PolicyRaTNoPrefetch PolicyKind = "RaT-noprefetch"
+	// PolicyRaTNoFetch is Figure 4's resource-availability experiment:
+	// threads enter runahead but fetch nothing new during it.
+	PolicyRaTNoFetch PolicyKind = "RaT-nofetch"
+	// PolicyRaTCache is the §3.3 runahead-cache ablation.
+	PolicyRaTCache PolicyKind = "RaT-racache"
+	// PolicyRaTNoFPInv disables §3.3's FP invalidation.
+	PolicyRaTNoFPInv PolicyKind = "RaT-nofpinv"
+	// PolicyMLP is the MLP-aware fetch policy of the paper's related work
+	// (§2, Eyerman & Eeckhout HPCA 2007): fetch-ahead bounded by a per-load
+	// MLP predictor, then stall. Implemented as an extra comparator.
+	PolicyMLP PolicyKind = "MLP"
+	// PolicyRaTDCRA composes RaT with DCRA's resource caps — the
+	// combination the paper's §5.2 explicitly leaves as future work
+	// ("DCRA and HillClimbing are orthogonal to the mechanism proposed in
+	// this paper"). Implemented here as an extension experiment.
+	PolicyRaTDCRA PolicyKind = "RaT+DCRA"
+)
+
+// Policies lists the main evaluation policies in presentation order.
+func Policies() []PolicyKind {
+	return []PolicyKind{
+		PolicyICount, PolicySTALL, PolicyFLUSH,
+		PolicyDCRA, PolicyHillClimbing, PolicyRaT,
+	}
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Pipeline is the machine description (DefaultConfig = Table 1).
+	Pipeline pipeline.Config
+	// Policy selects the fetch/resource policy.
+	Policy PolicyKind
+	// TraceLen is the per-thread synthetic trace length.
+	TraceLen int
+	// MinIterations is the FAME representation requirement: full trace
+	// executions per thread before measurement may stop.
+	MinIterations int
+	// WarmupInsts is the per-thread committed-instruction count of the
+	// timed-but-unmeasured warm phase that precedes measurement (cache,
+	// predictor and policy state converge there). Zero selects half a
+	// trace iteration.
+	WarmupInsts int
+	// MaxCycles bounds the run (safety valve; a run that hits it is still
+	// reported, with Truncated set).
+	MaxCycles uint64
+	// Seed decorrelates workload instances.
+	Seed uint64
+}
+
+// DefaultConfig returns the Table 1 machine with FAME measurement.
+func DefaultConfig() Config {
+	return Config{
+		Pipeline:      pipeline.DefaultConfig(),
+		Policy:        PolicyICount,
+		TraceLen:      trace.DefaultLen,
+		MinIterations: 1,
+		MaxCycles:     30_000_000,
+		Seed:          1,
+	}
+}
+
+// ThreadResult is one hardware context's measurement.
+type ThreadResult struct {
+	// Benchmark is the SPEC benchmark name.
+	Benchmark string
+	// Committed is the architected instruction count at measurement end.
+	Committed uint64
+	// IPC is Committed / Cycles.
+	IPC float64
+	// Executed counts energy-consuming executions (ED² input).
+	Executed uint64
+	// L2MissLoads counts demand loads served by memory.
+	L2MissLoads uint64
+	// RunaheadEpisodes, PseudoRetired, Folded, PrefetchesIssued summarize
+	// RaT activity.
+	RunaheadEpisodes uint64
+	PseudoRetired    uint64
+	Folded           uint64
+	PrefetchesIssued uint64
+	// RegsNormal / RegsRunahead are the Figure 5 occupancy means.
+	RegsNormal, RegsRunahead float64
+	// CyclesInRunahead counts cycles the thread spent in runahead mode.
+	CyclesInRunahead uint64
+}
+
+// Result is one run's measurement.
+type Result struct {
+	// Workload and Policy identify the run.
+	Workload string
+	Policy   PolicyKind
+	// Cycles is the measurement window length.
+	Cycles uint64
+	// Threads holds per-context results.
+	Threads []ThreadResult
+	// ExecutedTotal sums executed instructions over threads (ED² input).
+	ExecutedTotal uint64
+	// CommittedTotal sums committed instructions.
+	CommittedTotal uint64
+	// Truncated reports that MaxCycles hit before FAME coverage completed.
+	Truncated bool
+}
+
+// IPCs returns the per-thread IPC vector (eq. 1 / eq. 2 input).
+func (r *Result) IPCs() []float64 {
+	out := make([]float64, len(r.Threads))
+	for i := range r.Threads {
+		out[i] = r.Threads[i].IPC
+	}
+	return out
+}
+
+// buildPolicy maps a PolicyKind onto a pipeline policy plus the runahead
+// configuration it implies.
+func buildPolicy(kind PolicyKind) (pipeline.Policy, runahead.Config, error) {
+	switch kind {
+	case PolicyRR:
+		return policy.RoundRobin{}, runahead.Disabled(), nil
+	case PolicyICount, "":
+		return pipeline.ICount{}, runahead.Disabled(), nil
+	case PolicySTALL:
+		return policy.Stall{}, runahead.Disabled(), nil
+	case PolicyFLUSH:
+		return policy.NewFlush(), runahead.Disabled(), nil
+	case PolicyDCRA:
+		return rescontrol.NewDCRA(), runahead.Disabled(), nil
+	case PolicyHillClimbing:
+		return rescontrol.NewHillClimbing(), runahead.Disabled(), nil
+	case PolicyRaT:
+		return pipeline.ICount{}, runahead.Default(), nil
+	case PolicyRaTNoPrefetch:
+		ra := runahead.Default()
+		ra.Prefetch = false
+		return pipeline.ICount{}, ra, nil
+	case PolicyRaTNoFetch:
+		ra := runahead.Default()
+		ra.FetchInRunahead = false
+		return pipeline.ICount{}, ra, nil
+	case PolicyRaTCache:
+		ra := runahead.Default()
+		ra.UseRunaheadCache = true
+		return pipeline.ICount{}, ra, nil
+	case PolicyRaTNoFPInv:
+		ra := runahead.Default()
+		ra.InvalidateFP = false
+		return pipeline.ICount{}, ra, nil
+	case PolicyRaTDCRA:
+		return rescontrol.NewDCRA(), runahead.Default(), nil
+	case PolicyMLP:
+		return policy.NewMLPAware(), runahead.Disabled(), nil
+	}
+	return nil, runahead.Config{}, fmt.Errorf("core: unknown policy %q", kind)
+}
+
+// Run executes workload w under cfg and returns its measurement.
+func Run(cfg Config, w workload.Workload) (*Result, error) {
+	if cfg.TraceLen <= 0 {
+		cfg.TraceLen = trace.DefaultLen
+	}
+	if cfg.MinIterations <= 0 {
+		cfg.MinIterations = 1
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = DefaultConfig().MaxCycles
+	}
+	pol, ra, err := buildPolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := cfg.Pipeline
+	pcfg.Runahead = ra
+
+	traces := w.Traces(cfg.TraceLen, cfg.Seed)
+	c, err := pipeline.New(pcfg, traces, pol)
+	if err != nil {
+		return nil, err
+	}
+	c.WarmupCaches()
+
+	// runUntil advances the machine until every thread's committed count
+	// reaches its per-thread target, bounded by the cycle limit; it
+	// reports whether the limit hit first.
+	runUntil := func(target func(tid int) uint64, limit uint64) (truncated bool) {
+		covered := func() bool {
+			for tid := 0; tid < c.NumThreads(); tid++ {
+				if c.Committed(tid) < target(tid) {
+					return false
+				}
+			}
+			return true
+		}
+		for !covered() {
+			if c.Cycle() >= limit {
+				return true
+			}
+			// Step in small batches to keep the coverage check off the
+			// per-cycle path.
+			for i := 0; i < 256; i++ {
+				c.Step()
+			}
+		}
+		return false
+	}
+
+	// Phase 1 — timed, unmeasured warm phase: cache contents, branch
+	// predictor weights, and policy state (DCRA classification, hill-
+	// climbing epochs) converge before measurement begins.
+	warm := cfg.WarmupInsts
+	if warm <= 0 {
+		warm = cfg.TraceLen / 2
+	}
+	truncated := runUntil(func(int) uint64 { return uint64(warm) }, cfg.MaxCycles/2)
+
+	// Snapshot the measurement window start.
+	startCycle := c.Cycle()
+	startStats := make([]pipeline.ThreadStats, c.NumThreads())
+	for tid := range startStats {
+		startStats[tid] = *c.Stats(tid)
+	}
+
+	// Phase 2 — FAME measurement: run until every thread has committed a
+	// further MinIterations full trace executions *beyond its snapshot*
+	// (relative targets, so warm-phase overshoot cannot shrink any
+	// thread's measured iteration count below the FAME requirement).
+	span := uint64(cfg.TraceLen) * uint64(cfg.MinIterations)
+	truncated = runUntil(func(tid int) uint64 {
+		return startStats[tid].Committed.Value() + span
+	}, cfg.MaxCycles) || truncated
+
+	cycles := c.Cycle() - startCycle
+	res := &Result{
+		Workload:  w.Name(),
+		Policy:    cfg.Policy,
+		Cycles:    cycles,
+		Truncated: truncated,
+	}
+	for tid := 0; tid < c.NumThreads(); tid++ {
+		cur, prev := c.Stats(tid), &startStats[tid]
+		tr := ThreadResult{
+			Benchmark:        w.Benchmarks[tid],
+			Committed:        cur.Committed.Value() - prev.Committed.Value(),
+			Executed:         cur.Executed.Value() - prev.Executed.Value(),
+			L2MissLoads:      cur.L2MissLoads.Value() - prev.L2MissLoads.Value(),
+			RunaheadEpisodes: cur.Runahead.Episodes.Value() - prev.Runahead.Episodes.Value(),
+			PseudoRetired:    cur.Runahead.PseudoRetired.Value() - prev.Runahead.PseudoRetired.Value(),
+			Folded:           cur.Runahead.Folded.Value() - prev.Runahead.Folded.Value(),
+			PrefetchesIssued: cur.Runahead.PrefetchesIssued.Value() - prev.Runahead.PrefetchesIssued.Value(),
+			RegsNormal:       deltaMean(&cur.RegsNormal, &prev.RegsNormal),
+			RegsRunahead:     deltaMean(&cur.RegsRunahead, &prev.RegsRunahead),
+			CyclesInRunahead: cur.Runahead.CyclesInRunahead.Value() - prev.Runahead.CyclesInRunahead.Value(),
+		}
+		if cycles > 0 {
+			tr.IPC = float64(tr.Committed) / float64(cycles)
+		}
+		res.Threads = append(res.Threads, tr)
+		res.ExecutedTotal += tr.Executed
+		res.CommittedTotal += tr.Committed
+	}
+	return res, nil
+}
+
+// deltaMean computes the mean of a RunningMean over the measurement window
+// delimited by two snapshots.
+func deltaMean(cur, prev *stats.RunningMean) float64 {
+	dn := cur.Count() - prev.Count()
+	if dn == 0 {
+		return 0
+	}
+	return (cur.Sum() - prev.Sum()) / float64(dn)
+}
+
+// RunSingle measures one benchmark running alone — the IPC_ST reference
+// of the fairness metric (eq. 2). Per Luo et al., the reference machine is
+// the baseline processor (ICOUNT, no runahead), identical for every
+// policy being compared.
+func RunSingle(cfg Config, benchmark string) (*Result, error) {
+	cfg.Policy = PolicyICount
+	w := workload.Workload{Group: "ST", Benchmarks: []string{benchmark}}
+	return Run(cfg, w)
+}
+
+// STCache memoizes single-thread reference IPCs keyed by benchmark (the
+// machine configuration is fixed per cache instance).
+type STCache struct {
+	cfg Config
+	m   map[string]float64
+}
+
+// NewSTCache builds a cache for the given machine configuration.
+func NewSTCache(cfg Config) *STCache {
+	return &STCache{cfg: cfg, m: map[string]float64{}}
+}
+
+// IPC returns the single-thread IPC for a benchmark, computing and
+// memoizing it on first use.
+func (s *STCache) IPC(benchmark string) (float64, error) {
+	if v, ok := s.m[benchmark]; ok {
+		return v, nil
+	}
+	res, err := RunSingle(s.cfg, benchmark)
+	if err != nil {
+		return 0, err
+	}
+	v := res.Threads[0].IPC
+	s.m[benchmark] = v
+	return v, nil
+}
+
+// STVector returns the IPC_ST vector for a workload.
+func (s *STCache) STVector(w workload.Workload) ([]float64, error) {
+	out := make([]float64, 0, len(w.Benchmarks))
+	for _, b := range w.Benchmarks {
+		v, err := s.IPC(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

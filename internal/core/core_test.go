@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func fastCfg() Config {
+	cfg := DefaultConfig()
+	cfg.TraceLen = 4_000
+	cfg.MaxCycles = 3_000_000
+	return cfg
+}
+
+func TestRunBasics(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Policy = PolicyRaT
+	w := workload.ByGroup("MIX2")[1]
+	res, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != w.Name() || res.Policy != PolicyRaT {
+		t.Fatal("result identity wrong")
+	}
+	if res.Cycles == 0 || res.Truncated {
+		t.Fatalf("cycles=%d truncated=%v", res.Cycles, res.Truncated)
+	}
+	if len(res.Threads) != 2 {
+		t.Fatalf("threads = %d", len(res.Threads))
+	}
+	for i, th := range res.Threads {
+		if th.Benchmark != w.Benchmarks[i] {
+			t.Errorf("thread %d benchmark %q", i, th.Benchmark)
+		}
+		// FAME: every thread must have committed at least one full
+		// measured trace iteration.
+		if th.Committed < uint64(cfg.TraceLen) {
+			t.Errorf("thread %d committed %d < trace length %d (FAME violated)",
+				i, th.Committed, cfg.TraceLen)
+		}
+		if th.IPC <= 0 {
+			t.Errorf("thread %d IPC %v", i, th.IPC)
+		}
+	}
+	if res.CommittedTotal == 0 || res.ExecutedTotal == 0 {
+		t.Fatal("zero totals")
+	}
+	if got := len(res.IPCs()); got != 2 {
+		t.Fatalf("IPCs length %d", got)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Policy = PolicyRaT
+	w := workload.ByGroup("MEM2")[1]
+	a, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.CommittedTotal != b.CommittedTotal ||
+		a.ExecutedTotal != b.ExecutedTotal {
+		t.Fatalf("nondeterministic runs: %+v vs %+v", a, b)
+	}
+	for i := range a.Threads {
+		if a.Threads[i] != b.Threads[i] {
+			t.Fatalf("thread %d results differ", i)
+		}
+	}
+}
+
+func TestRunSeedsDiffer(t *testing.T) {
+	cfg := fastCfg()
+	w := workload.ByGroup("MEM2")[1]
+	a, _ := Run(cfg, w)
+	cfg.Seed = 99
+	b, _ := Run(cfg, w)
+	if a.Cycles == b.Cycles && a.ExecutedTotal == b.ExecutedTotal {
+		t.Fatal("different seeds produced identical measurements (suspicious)")
+	}
+}
+
+func TestUnknownPolicyRejected(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Policy = "bogus"
+	if _, err := Run(cfg, workload.ByGroup("ILP2")[0]); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestAllPoliciesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy sweep")
+	}
+	w := workload.ByGroup("MIX2")[1]
+	kinds := append(Policies(),
+		PolicyRR, PolicyRaTNoPrefetch, PolicyRaTNoFetch, PolicyRaTCache,
+		PolicyRaTNoFPInv, PolicyRaTDCRA)
+	for _, p := range kinds {
+		cfg := fastCfg()
+		cfg.Policy = p
+		res, err := Run(cfg, w)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.CommittedTotal == 0 {
+			t.Errorf("%s: nothing committed", p)
+		}
+	}
+}
+
+func TestRaTDCRAComposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("composition sweep")
+	}
+	// The future-work composition must still enter runahead (DCRA caps
+	// must not suppress the mechanism).
+	cfg := fastCfg()
+	cfg.Policy = PolicyRaTDCRA
+	res, err := Run(cfg, workload.ByGroup("MEM2")[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := uint64(0)
+	for _, th := range res.Threads {
+		eps += th.RunaheadEpisodes
+	}
+	if eps == 0 {
+		t.Fatal("RaT+DCRA never entered runahead")
+	}
+}
+
+func TestSTCacheMemoizes(t *testing.T) {
+	st := NewSTCache(fastCfg())
+	a, err := st.IPC("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.IPC("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("memoized value changed")
+	}
+	if a <= 0 {
+		t.Fatalf("gzip ST IPC = %v", a)
+	}
+	v, err := st.STVector(workload.Workload{Group: "x", Benchmarks: []string{"gzip", "gzip"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 2 || v[0] != v[1] {
+		t.Fatalf("vector = %v", v)
+	}
+}
+
+func TestTruncationReported(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MaxCycles = 2_000 // absurdly small
+	res, err := Run(cfg, workload.ByGroup("MEM2")[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("truncation not reported")
+	}
+}
+
+func TestRegisterOverrideApplied(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Pipeline.IntRegs = 64
+	cfg.Pipeline.FPRegs = 64
+	cfg.Policy = PolicyRaT
+	res, err := Run(cfg, workload.ByGroup("MEM2")[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range res.Threads {
+		if th.RegsNormal > 128 || th.RegsRunahead > 128 {
+			t.Fatalf("occupancy exceeds 64+64 files: %+v", th)
+		}
+	}
+}

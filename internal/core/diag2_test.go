@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestDiagMix prints per-thread behaviour for one MIX2 workload under each
+// policy (calibration dashboard; run with -v).
+func TestDiagMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	cfg := DefaultConfig()
+	cfg.TraceLen = 12_000
+	cfg.MaxCycles = 6_000_000
+
+	w := workload.ByGroup("MIX2")[1] // art+gzip
+	for _, p := range []PolicyKind{PolicyICount, PolicySTALL, PolicyFLUSH, PolicyRaT} {
+		c := cfg
+		c.Policy = p
+		res, err := Run(c, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, th := range res.Threads {
+			t.Logf("%-14s %-6s ipc=%.3f l2m/ki=%.1f eps=%d pref=%d regsN=%.0f regsRA=%.0f raCyc=%d",
+				p, th.Benchmark, th.IPC,
+				1000*float64(th.L2MissLoads)/float64(th.Committed),
+				th.RunaheadEpisodes, th.PrefetchesIssued, th.RegsNormal, th.RegsRunahead, th.CyclesInRunahead)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// TestDiagGroupAverages sweeps a full Table 2 group under the main
+// policies and prints group-average throughput and fairness — the actual
+// Figure 1/2 quantities (run with -v).
+func TestDiagGroupAverages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	cfg := DefaultConfig()
+	cfg.TraceLen = 10_000
+	cfg.MaxCycles = 6_000_000
+
+	st := NewSTCache(cfg)
+	for _, g := range []string{"MIX2", "MEM2"} {
+		for _, p := range []PolicyKind{PolicyICount, PolicySTALL, PolicyFLUSH, PolicyDCRA, PolicyHillClimbing, PolicyRaT} {
+			var thrus, fairs []float64
+			for i, w := range workload.ByGroup(g) {
+				if i%3 != 0 { // subsample: this is a dashboard, not the harness
+					continue
+				}
+				c := cfg
+				c.Policy = p
+				res, err := Run(c, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stv, err := st.STVector(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				thrus = append(thrus, metrics.Throughput(res.IPCs()))
+				fairs = append(fairs, metrics.Fairness(stv, res.IPCs()))
+			}
+			t.Logf("%-5s %-14s thru=%.3f fair=%.3f", g, p,
+				avg(thrus), avg(fairs))
+		}
+	}
+}
+
+func avg(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

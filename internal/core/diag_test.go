@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestDiagSingleThread prints per-benchmark single-thread behaviour under
+// ICOUNT and RaT — the calibration dashboard (run with -v).
+func TestDiagSingleThread(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	cfg := DefaultConfig()
+	cfg.TraceLen = 12_000
+	cfg.MaxCycles = 6_000_000
+
+	for _, b := range []string{"art", "mcf", "swim", "twolf", "gzip", "eon", "gcc"} {
+		for _, p := range []PolicyKind{PolicyICount, PolicyRaT} {
+			c := cfg
+			c.Policy = p
+			w := workload.Workload{Group: "ST", Benchmarks: []string{b}}
+			res, err := Run(c, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := res.Threads[0]
+			t.Logf("%-6s %-7s ipc=%.3f l2miss/kinst=%.1f episodes=%d pseudo=%d prefetch=%d cycles=%d",
+				b, p, tr.IPC,
+				1000*float64(tr.L2MissLoads)/float64(tr.Committed),
+				tr.RunaheadEpisodes, tr.PseudoRetired, tr.PrefetchesIssued, res.Cycles)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// TestDiagMLPPolicy compares the related-work MLP-aware fetch policy with
+// STALL and RaT on memory-bound workloads (dashboard; run with -v).
+func TestDiagMLPPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	cfg := DefaultConfig()
+	cfg.TraceLen = 10_000
+	cfg.MaxCycles = 6_000_000
+	for _, p := range []PolicyKind{PolicySTALL, PolicyMLP, PolicyRaT} {
+		var thrus []float64
+		for i, w := range workload.ByGroup("MEM2") {
+			if i%3 != 0 {
+				continue
+			}
+			c := cfg
+			c.Policy = p
+			res, err := Run(c, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			thrus = append(thrus, metrics.Throughput(res.IPCs()))
+		}
+		t.Logf("MEM2 %-6s thru=%.3f", p, avg(thrus))
+	}
+}

@@ -1,0 +1,282 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5–§6). Each FigN function runs the simulations it needs
+// (sharing results through a session-level cache, since e.g. Figures 1, 2
+// and 3 all need the ICOUNT and RaT runs) and returns a structured result
+// that renders as text resembling the original figure.
+//
+// The harness is deliberately a library: cmd/experiments wraps it with
+// flags, bench_test.go wraps it with testing.B, and EXPERIMENTS.md quotes
+// its output.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options scales the harness.
+type Options struct {
+	// TraceLen is the per-thread trace length.
+	TraceLen int
+	// MaxCycles bounds each run.
+	MaxCycles uint64
+	// PerGroup limits workloads per Table 2 group (0 = all).
+	PerGroup int
+	// Groups restricts the groups (nil = all six).
+	Groups []string
+	// Seed decorrelates the whole experiment instance.
+	Seed uint64
+	// RegSizes is Figure 6's register file sweep.
+	RegSizes []int
+}
+
+// Default returns the full-suite options.
+func Default() Options {
+	return Options{
+		TraceLen:  20_000,
+		MaxCycles: 12_000_000,
+		Seed:      1,
+		RegSizes:  []int{64, 128, 192, 256, 320},
+	}
+}
+
+// Quick returns reduced options for smoke runs and benchmarks.
+func Quick() Options {
+	o := Default()
+	o.TraceLen = 8_000
+	o.MaxCycles = 5_000_000
+	o.PerGroup = 3
+	o.RegSizes = []int{64, 192, 320}
+	return o
+}
+
+// groups returns the selected group list.
+func (o Options) groups() []string {
+	if len(o.Groups) > 0 {
+		return o.Groups
+	}
+	return workload.Groups()
+}
+
+// pick returns the selected workloads of one group.
+func (o Options) pick(group string) []workload.Workload {
+	ws := workload.ByGroup(group)
+	if o.PerGroup > 0 && o.PerGroup < len(ws) {
+		ws = ws[:o.PerGroup]
+	}
+	return ws
+}
+
+// runKey identifies a cached simulation.
+type runKey struct {
+	workload string
+	policy   core.PolicyKind
+	regs     int // 0 = Table 1 default
+}
+
+// Session shares simulation results and single-thread references across
+// figures.
+type Session struct {
+	opt   Options
+	base  core.Config
+	st    *core.STCache
+	cache map[runKey]*core.Result
+}
+
+// NewSession builds a session.
+func NewSession(opt Options) *Session {
+	base := core.DefaultConfig()
+	if opt.TraceLen > 0 {
+		base.TraceLen = opt.TraceLen
+	}
+	if opt.MaxCycles > 0 {
+		base.MaxCycles = opt.MaxCycles
+	}
+	base.Seed = opt.Seed
+	return &Session{
+		opt:   opt,
+		base:  base,
+		st:    core.NewSTCache(base),
+		cache: map[runKey]*core.Result{},
+	}
+}
+
+// run executes (and caches) one workload under one policy, optionally with
+// an overridden physical register file size.
+func (s *Session) run(w workload.Workload, pol core.PolicyKind, regs int) (*core.Result, error) {
+	key := runKey{workload: w.Name(), policy: pol, regs: regs}
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	cfg := s.base
+	cfg.Policy = pol
+	if regs > 0 {
+		cfg.Pipeline.IntRegs = regs
+		cfg.Pipeline.FPRegs = regs
+	}
+	r, err := core.Run(cfg, w)
+	if err != nil {
+		return nil, fmt.Errorf("%s under %s: %w", w.Name(), pol, err)
+	}
+	s.cache[key] = r
+	return r, nil
+}
+
+// groupMetrics averages throughput and fairness over a group's workloads.
+func (s *Session) groupMetrics(group string, pol core.PolicyKind) (thru, fair float64, err error) {
+	var thrus, fairs []float64
+	for _, w := range s.opt.pick(group) {
+		res, err := s.run(w, pol, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		stv, err := s.st.STVector(w)
+		if err != nil {
+			return 0, 0, err
+		}
+		thrus = append(thrus, metrics.Throughput(res.IPCs()))
+		fairs = append(fairs, metrics.Fairness(stv, res.IPCs()))
+	}
+	return stats.Mean(thrus), stats.Mean(fairs), nil
+}
+
+// PolicyFigure is the shared shape of Figures 1 and 2: group-average
+// throughput and fairness for a set of policies.
+type PolicyFigure struct {
+	Name     string
+	Policies []core.PolicyKind
+	Groups   []string
+	// Throughput[group][policy] and Fairness[group][policy].
+	Throughput map[string]map[core.PolicyKind]float64
+	Fairness   map[string]map[core.PolicyKind]float64
+}
+
+// policyFigure runs the common Figure 1/2 machinery.
+func (s *Session) policyFigure(name string, pols []core.PolicyKind) (*PolicyFigure, error) {
+	f := &PolicyFigure{
+		Name:       name,
+		Policies:   pols,
+		Groups:     s.opt.groups(),
+		Throughput: map[string]map[core.PolicyKind]float64{},
+		Fairness:   map[string]map[core.PolicyKind]float64{},
+	}
+	for _, g := range f.Groups {
+		f.Throughput[g] = map[core.PolicyKind]float64{}
+		f.Fairness[g] = map[core.PolicyKind]float64{}
+		for _, p := range pols {
+			thru, fair, err := s.groupMetrics(g, p)
+			if err != nil {
+				return nil, err
+			}
+			f.Throughput[g][p] = thru
+			f.Fairness[g][p] = fair
+		}
+	}
+	return f, nil
+}
+
+// Fig1 reproduces Figure 1: RaT against the static fetch policies.
+func (s *Session) Fig1() (*PolicyFigure, error) {
+	return s.policyFigure("Figure 1: I-Fetch policies (ICOUNT, STALL, FLUSH, RaT)",
+		[]core.PolicyKind{core.PolicyICount, core.PolicySTALL, core.PolicyFLUSH, core.PolicyRaT})
+}
+
+// Fig2 reproduces Figure 2: RaT against the dynamic resource controllers.
+func (s *Session) Fig2() (*PolicyFigure, error) {
+	return s.policyFigure("Figure 2: resource control policies (ICOUNT, DCRA, HillClimbing, RaT)",
+		[]core.PolicyKind{core.PolicyICount, core.PolicyDCRA, core.PolicyHillClimbing, core.PolicyRaT})
+}
+
+// String renders the figure as two tables (throughput, fairness).
+func (f *PolicyFigure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", f.Name)
+	for _, part := range []struct {
+		title string
+		data  map[string]map[core.PolicyKind]float64
+	}{
+		{"(a) Throughput (avg IPC)", f.Throughput},
+		{"(b) Fairness (harmonic mean of speedups)", f.Fairness},
+	} {
+		cols := append([]string{"workload"}, policyNames(f.Policies)...)
+		tb := report.NewTable(part.title, cols...)
+		for _, g := range f.Groups {
+			row := []string{g}
+			for _, p := range f.Policies {
+				row = append(row, report.F(part.data[g][p]))
+			}
+			tb.AddRow(row...)
+		}
+		b.WriteString(tb.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func policyNames(pols []core.PolicyKind) []string {
+	out := make([]string, len(pols))
+	for i, p := range pols {
+		out[i] = string(p)
+	}
+	return out
+}
+
+// Fig3Result holds Figure 3: ED² normalized to ICOUNT per group/policy.
+type Fig3Result struct {
+	Groups   []string
+	Policies []core.PolicyKind
+	ED2      map[string]map[core.PolicyKind]float64 // normalized to ICOUNT
+}
+
+// Fig3 reproduces Figure 3: Energy-Delay² (executed instructions × CPI²),
+// normalized to ICOUNT.
+func (s *Session) Fig3() (*Fig3Result, error) {
+	pols := []core.PolicyKind{core.PolicyICount, core.PolicySTALL, core.PolicyFLUSH,
+		core.PolicyDCRA, core.PolicyHillClimbing, core.PolicyRaT}
+	f := &Fig3Result{Groups: s.opt.groups(), Policies: pols, ED2: map[string]map[core.PolicyKind]float64{}}
+	for _, g := range f.Groups {
+		f.ED2[g] = map[core.PolicyKind]float64{}
+		// Per-workload ED2 normalized to that workload's ICOUNT, then
+		// group-averaged (the paper normalizes per workload).
+		sums := map[core.PolicyKind][]float64{}
+		for _, w := range s.opt.pick(g) {
+			base, err := s.run(w, core.PolicyICount, 0)
+			if err != nil {
+				return nil, err
+			}
+			baseED2 := metrics.ED2(base.ExecutedTotal, base.Cycles, base.CommittedTotal)
+			for _, p := range pols {
+				res, err := s.run(w, p, 0)
+				if err != nil {
+					return nil, err
+				}
+				ed2 := metrics.ED2(res.ExecutedTotal, res.Cycles, res.CommittedTotal)
+				sums[p] = append(sums[p], metrics.Normalize(ed2, baseED2))
+			}
+		}
+		for _, p := range pols {
+			f.ED2[g][p] = stats.Mean(sums[p])
+		}
+	}
+	return f, nil
+}
+
+// String renders Figure 3.
+func (f *Fig3Result) String() string {
+	cols := append([]string{"workload"}, policyNames(f.Policies)...)
+	tb := report.NewTable("Figure 3: Energy-Delay² normalized to ICOUNT (lower is better)", cols...)
+	for _, g := range f.Groups {
+		row := []string{g}
+		for _, p := range f.Policies {
+			row = append(row, report.F(f.ED2[g][p]))
+		}
+		tb.AddRow(row...)
+	}
+	return tb.String()
+}

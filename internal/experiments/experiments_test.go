@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tinyOptions keeps harness tests fast: one workload per group, short
+// traces, two groups.
+func tinyOptions() Options {
+	o := Quick()
+	o.TraceLen = 4_000
+	o.PerGroup = 1
+	o.Groups = []string{"MIX2", "MEM2"}
+	o.RegSizes = []int{64, 320}
+	return o
+}
+
+func TestTablesRender(t *testing.T) {
+	t1 := Table1()
+	for _, want := range []string{"512 shared entries", "320 / 320", "400 cycles", "perceptron"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := Table2()
+	for _, want := range []string{"ILP2", "MEM4", "art,mcf,swim,twolf"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, t2)
+		}
+	}
+}
+
+func TestFig1ShapeAndCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	s := NewSession(tinyOptions())
+	f, err := s.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Groups) != 2 || len(f.Policies) != 4 {
+		t.Fatalf("figure shape: %d groups, %d policies", len(f.Groups), len(f.Policies))
+	}
+	for _, g := range f.Groups {
+		for _, p := range f.Policies {
+			if f.Throughput[g][p] <= 0 {
+				t.Errorf("%s/%s throughput not positive", g, p)
+			}
+			if f.Fairness[g][p] <= 0 {
+				t.Errorf("%s/%s fairness not positive", g, p)
+			}
+		}
+	}
+	out := f.String()
+	for _, want := range []string{"Throughput", "Fairness", "MEM2", "RaT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+	// The session must cache: a second Fig1 reuses every run.
+	before := len(s.cache)
+	if _, err := s.Fig1(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.cache) != before {
+		t.Fatalf("cache grew on repeat: %d -> %d", before, len(s.cache))
+	}
+}
+
+func TestFig3Normalization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	s := NewSession(tinyOptions())
+	f, err := s.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range f.Groups {
+		if ic := f.ED2[g][core.PolicyICount]; ic < 0.999 || ic > 1.001 {
+			t.Errorf("%s: ICOUNT ED2 normalized to %v, want 1.0", g, ic)
+		}
+	}
+}
+
+func TestFig4Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	o := tinyOptions()
+	o.Groups = []string{"MEM2"}
+	s := NewSession(o)
+	f, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Prefetching["MEM2"] == 0 {
+		t.Error("prefetching contribution exactly zero (suspicious)")
+	}
+	if !strings.Contains(f.String(), "prefetching") {
+		t.Error("rendering missing column")
+	}
+}
+
+func TestFig5RunaheadLighter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	o := tinyOptions()
+	o.Groups = []string{"MEM2"}
+	s := NewSession(o)
+	f, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Runahead["MEM2"] >= f.Normal["MEM2"] {
+		t.Errorf("runahead occupancy (%.1f) not below normal (%.1f)",
+			f.Runahead["MEM2"], f.Normal["MEM2"])
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	o := tinyOptions()
+	o.Groups = []string{"MEM2"}
+	s := NewSession(o)
+	f, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput must not increase when the register file shrinks 320->64
+	// (within noise), for either policy.
+	for _, p := range []core.PolicyKind{core.PolicyFLUSH, core.PolicyRaT} {
+		small := f.Throughput["MEM2"][64][p]
+		big := f.Throughput["MEM2"][320][p]
+		if small > 1.15*big {
+			t.Errorf("%s: 64-reg throughput (%.3f) implausibly above 320-reg (%.3f)",
+				p, small, big)
+		}
+	}
+	if !strings.Contains(f.String(), "RaT@320") {
+		t.Error("rendering missing column")
+	}
+}
+
+func TestOptionsSelection(t *testing.T) {
+	o := Options{PerGroup: 2}
+	if got := len(o.pick("MEM2")); got != 2 {
+		t.Fatalf("pick returned %d", got)
+	}
+	if got := len(o.groups()); got != 6 {
+		t.Fatalf("default groups = %d", got)
+	}
+	o.Groups = []string{"MEM2"}
+	if got := len(o.groups()); got != 1 {
+		t.Fatalf("filtered groups = %d", got)
+	}
+}

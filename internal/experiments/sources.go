@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Fig4Result holds Figure 4: the decomposition of RaT's benefit into
+// prefetching, resource availability, and speculative-work overhead (§6.1).
+type Fig4Result struct {
+	Groups []string
+	// Prefetching is RaT's improvement over RaT-without-prefetching —
+	// the benefit attributable to the prefetches themselves, measured with
+	// identical runahead periods per the paper's methodology.
+	Prefetching map[string]float64
+	// ResourceAvailability is the improvement of RaT-without-fetch (enter
+	// runahead, release resources, fetch nothing new) over ICOUNT — the
+	// benefit of early resource release alone.
+	ResourceAvailability map[string]float64
+	// Overhead is the worst-case interference: how much the *other*
+	// threads slow down when a thread runs ahead without prefetching
+	// (useless speculative work only). Positive = degradation.
+	Overhead map[string]float64
+}
+
+// Fig4 reproduces Figure 4's three experiments.
+func (s *Session) Fig4() (*Fig4Result, error) {
+	f := &Fig4Result{
+		Groups:               s.opt.groups(),
+		Prefetching:          map[string]float64{},
+		ResourceAvailability: map[string]float64{},
+		Overhead:             map[string]float64{},
+	}
+	for _, g := range f.Groups {
+		var pref, avail, over []float64
+		for _, w := range s.opt.pick(g) {
+			rat, err := s.run(w, core.PolicyRaT, 0)
+			if err != nil {
+				return nil, err
+			}
+			noPf, err := s.run(w, core.PolicyRaTNoPrefetch, 0)
+			if err != nil {
+				return nil, err
+			}
+			noFetch, err := s.run(w, core.PolicyRaTNoFetch, 0)
+			if err != nil {
+				return nil, err
+			}
+			icount, err := s.run(w, core.PolicyICount, 0)
+			if err != nil {
+				return nil, err
+			}
+			tRat := metrics.Throughput(rat.IPCs())
+			tNoPf := metrics.Throughput(noPf.IPCs())
+			tNoFetch := metrics.Throughput(noFetch.IPCs())
+			tIC := metrics.Throughput(icount.IPCs())
+			if tNoPf > 0 {
+				pref = append(pref, tRat/tNoPf-1)
+			}
+			if tIC > 0 {
+				avail = append(avail, tNoFetch/tIC-1)
+			}
+			// Overhead: degradation of the non-MEM co-runners under
+			// useless runahead (no prefetching) vs ICOUNT.
+			for i := range w.Benchmarks {
+				if trace.MustLookup(w.Benchmarks[i]).Class == trace.ClassMEM {
+					continue
+				}
+				a, b := icount.Threads[i].IPC, noPf.Threads[i].IPC
+				if a > 0 {
+					over = append(over, 1-b/a)
+				}
+			}
+		}
+		f.Prefetching[g] = stats.Mean(pref)
+		f.ResourceAvailability[g] = stats.Mean(avail)
+		f.Overhead[g] = stats.Mean(over)
+	}
+	return f, nil
+}
+
+// String renders Figure 4.
+func (f *Fig4Result) String() string {
+	tb := report.NewTable("Figure 4: sources of improvement of RaT",
+		"workload", "prefetching", "resource-avail", "overhead")
+	for _, g := range f.Groups {
+		tb.AddRow(g,
+			report.Pct(f.Prefetching[g]),
+			report.Pct(f.ResourceAvailability[g]),
+			report.Pct(f.Overhead[g]))
+	}
+	return tb.String()
+}
+
+// Fig5Result holds Figure 5: average allocated physical registers per
+// cycle, normal execution versus runahead mode.
+type Fig5Result struct {
+	Groups []string
+	// Normal is the per-cycle register occupancy of normal-mode execution
+	// (measured on the ICOUNT baseline, where every cycle is normal mode).
+	Normal map[string]float64
+	// Runahead is the occupancy during runahead-mode cycles on the RaT
+	// machine — the "light consumer" the paper's §6.2 quantifies.
+	Runahead map[string]float64
+}
+
+// Fig5 reproduces Figure 5.
+func (s *Session) Fig5() (*Fig5Result, error) {
+	f := &Fig5Result{Groups: s.opt.groups(), Normal: map[string]float64{}, Runahead: map[string]float64{}}
+	for _, g := range f.Groups {
+		var normal, ra []float64
+		for _, w := range s.opt.pick(g) {
+			icount, err := s.run(w, core.PolicyICount, 0)
+			if err != nil {
+				return nil, err
+			}
+			rat, err := s.run(w, core.PolicyRaT, 0)
+			if err != nil {
+				return nil, err
+			}
+			for i := range w.Benchmarks {
+				normal = append(normal, icount.Threads[i].RegsNormal)
+				if rat.Threads[i].CyclesInRunahead > 0 {
+					ra = append(ra, rat.Threads[i].RegsRunahead)
+				}
+			}
+		}
+		f.Normal[g] = stats.Mean(normal)
+		f.Runahead[g] = stats.Mean(ra)
+	}
+	return f, nil
+}
+
+// String renders Figure 5.
+func (f *Fig5Result) String() string {
+	tb := report.NewTable("Figure 5: avg physical registers held per thread per cycle",
+		"workload", "normal mode", "runahead mode")
+	for _, g := range f.Groups {
+		tb.AddRow(g, report.F(f.Normal[g]), report.F(f.Runahead[g]))
+	}
+	return tb.String()
+}
+
+// Fig6Result holds Figure 6: throughput as a function of physical register
+// file size, FLUSH versus RaT.
+type Fig6Result struct {
+	Groups []string
+	Sizes  []int
+	// Throughput[group][size][policy].
+	Throughput map[string]map[int]map[core.PolicyKind]float64
+}
+
+// Fig6 reproduces Figure 6, sweeping the register file from 64 to 320
+// entries per file.
+func (s *Session) Fig6() (*Fig6Result, error) {
+	pols := []core.PolicyKind{core.PolicyFLUSH, core.PolicyRaT}
+	f := &Fig6Result{
+		Groups:     s.opt.groups(),
+		Sizes:      s.opt.RegSizes,
+		Throughput: map[string]map[int]map[core.PolicyKind]float64{},
+	}
+	for _, g := range f.Groups {
+		f.Throughput[g] = map[int]map[core.PolicyKind]float64{}
+		for _, size := range f.Sizes {
+			f.Throughput[g][size] = map[core.PolicyKind]float64{}
+			for _, p := range pols {
+				var thrus []float64
+				for _, w := range s.opt.pick(g) {
+					res, err := s.run(w, p, size)
+					if err != nil {
+						return nil, err
+					}
+					thrus = append(thrus, metrics.Throughput(res.IPCs()))
+				}
+				f.Throughput[g][size][p] = stats.Mean(thrus)
+			}
+		}
+	}
+	return f, nil
+}
+
+// String renders Figure 6.
+func (f *Fig6Result) String() string {
+	var b strings.Builder
+	cols := []string{"workload"}
+	for _, size := range f.Sizes {
+		cols = append(cols, fmt.Sprintf("FLUSH@%d", size), fmt.Sprintf("RaT@%d", size))
+	}
+	tb := report.NewTable("Figure 6: throughput vs physical register file size", cols...)
+	for _, g := range f.Groups {
+		row := []string{g}
+		for _, size := range f.Sizes {
+			row = append(row,
+				report.F(f.Throughput[g][size][core.PolicyFLUSH]),
+				report.F(f.Throughput[g][size][core.PolicyRaT]))
+		}
+		tb.AddRow(row...)
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}
+
+// Table1 renders the baseline configuration (Table 1 of the paper) from
+// the live defaults, so the printed table can never drift from the code.
+func Table1() string {
+	cfg := core.DefaultConfig().Pipeline
+	tb := report.NewTable("Table 1: SMT processor baseline configuration", "parameter", "value")
+	tb.AddRow("processor width", fmt.Sprintf("%d way", cfg.Width))
+	tb.AddRow("fetch threads/cycle", fmt.Sprintf("%d", cfg.FetchThreads))
+	tb.AddRow("reorder buffer", fmt.Sprintf("%d shared entries", cfg.ROBSize))
+	tb.AddRow("INT/FP registers", fmt.Sprintf("%d / %d", cfg.IntRegs, cfg.FPRegs))
+	tb.AddRow("INT/FP/LS issue queues", fmt.Sprintf("%d / %d / %d", cfg.IntIQ, cfg.FPIQ, cfg.LSIQ))
+	tb.AddRow("INT/FP/LdSt units", fmt.Sprintf("%d / %d / %d", cfg.IntFU, cfg.FPFU, cfg.LSFU))
+	tb.AddRow("branch predictor", fmt.Sprintf("perceptron, %d rows", cfg.BranchPredRows))
+	tb.AddRow("icache", fmt.Sprintf("%dKB, %d-way, %d cyc", cfg.Mem.IL1.SizeBytes>>10, cfg.Mem.IL1.Ways, cfg.Mem.IL1.Latency))
+	tb.AddRow("dcache", fmt.Sprintf("%dKB, %d-way, %d cyc", cfg.Mem.DL1.SizeBytes>>10, cfg.Mem.DL1.Ways, cfg.Mem.DL1.Latency))
+	tb.AddRow("L2 cache", fmt.Sprintf("%dMB, %d-way, %d cyc", cfg.Mem.L2.SizeBytes>>20, cfg.Mem.L2.Ways, cfg.Mem.L2.Latency))
+	tb.AddRow("line size", fmt.Sprintf("%d bytes", cfg.Mem.L2.LineBytes))
+	tb.AddRow("main memory latency", fmt.Sprintf("%d cycles", cfg.Mem.MemLatency))
+	return tb.String()
+}
+
+// Table2 renders the workload suite.
+func Table2() string {
+	tb := report.NewTable("Table 2: SMT simulation workloads", "group", "workloads")
+	for _, g := range workload.Groups() {
+		var names []string
+		for _, w := range workload.ByGroup(g) {
+			names = append(names, strings.Join(w.Benchmarks, ","))
+		}
+		tb.AddRow(g, strings.Join(names, "  "))
+	}
+	return tb.String()
+}

@@ -1,0 +1,148 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassPredicatesDisjoint(t *testing.T) {
+	// Every op must belong to a coherent set of classes; in particular an op
+	// cannot be both FP-compute and memory, or both branch and memory.
+	for o := Op(0); o < Op(NumOps); o++ {
+		if o.IsFP() && o.IsMem() {
+			t.Errorf("%v is both FP and Mem", o)
+		}
+		if o.IsBranch() && o.IsMem() {
+			t.Errorf("%v is both Branch and Mem", o)
+		}
+		if o.IsSync() && (o.IsMem() || o.IsFP() || o.IsBranch()) {
+			t.Errorf("%v is Sync and something else", o)
+		}
+		if o.IsLoad() && o.IsStore() {
+			t.Errorf("%v is both Load and Store", o)
+		}
+		if (o.IsLoad() || o.IsStore()) && !o.IsMem() {
+			t.Errorf("%v is Load/Store but not Mem", o)
+		}
+	}
+}
+
+func TestOpMemClassification(t *testing.T) {
+	cases := []struct {
+		op          Op
+		mem, ld, st bool
+	}{
+		{OpLoad, true, true, false},
+		{OpStore, true, false, true},
+		{OpFpLoad, true, true, false},
+		{OpFpStore, true, false, true},
+		{OpIntAlu, false, false, false},
+		{OpFpAlu, false, false, false},
+		{OpBranch, false, false, false},
+	}
+	for _, c := range cases {
+		if c.op.IsMem() != c.mem || c.op.IsLoad() != c.ld || c.op.IsStore() != c.st {
+			t.Errorf("%v: mem/load/store = %v/%v/%v, want %v/%v/%v",
+				c.op, c.op.IsMem(), c.op.IsLoad(), c.op.IsStore(), c.mem, c.ld, c.st)
+		}
+	}
+}
+
+func TestFPLoadsAreNotFPResources(t *testing.T) {
+	// Paper §3.3: FP loads/stores compute addresses on the integer side, so
+	// the runahead FP-invalidation must NOT treat them as FP ops.
+	if OpFpLoad.IsFP() || OpFpStore.IsFP() {
+		t.Fatal("FP memory ops must not be classified as FP-resource ops")
+	}
+	if !OpFpAlu.IsFP() || !OpFpMul.IsFP() || !OpFpDiv.IsFP() {
+		t.Fatal("FP arithmetic must be classified as FP-resource ops")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	seen := map[string]Op{}
+	for o := Op(0); o < Op(NumOps); o++ {
+		s := o.String()
+		if s == "" {
+			t.Fatalf("op %d has empty name", o)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("ops %v and %v share name %q", prev, o, s)
+		}
+		seen[s] = o
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Fatalf("out-of-range op name = %q", got)
+	}
+}
+
+func TestRegClassification(t *testing.T) {
+	for n := 0; n < NumIntArchRegs; n++ {
+		r := IntReg(n)
+		if !r.IsInt() || r.IsFP() || !r.Valid() {
+			t.Fatalf("IntReg(%d) misclassified", n)
+		}
+	}
+	for n := 0; n < NumFPArchRegs; n++ {
+		r := FPReg(n)
+		if r.IsInt() || !r.IsFP() || !r.Valid() {
+			t.Fatalf("FPReg(%d) misclassified", n)
+		}
+	}
+	if RegNone.Valid() || RegNone.IsInt() || RegNone.IsFP() {
+		t.Fatal("RegNone misclassified")
+	}
+	if Reg(NumArchRegs).Valid() {
+		t.Fatal("out-of-range reg claims validity")
+	}
+}
+
+func TestRegStrings(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{IntReg(0), "r0"},
+		{IntReg(31), "r31"},
+		{FPReg(0), "f0"},
+		{FPReg(31), "f31"},
+		{RegNone, "-"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegRoundTrip(t *testing.T) {
+	f := func(n uint8) bool {
+		i := int(n % NumIntArchRegs)
+		return IntReg(i).IsInt() && FPReg(i).IsFP() && IntReg(i) != FPReg(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstHasDst(t *testing.T) {
+	in := Inst{Dst: RegNone}
+	if in.HasDst() {
+		t.Fatal("RegNone dst reported as present")
+	}
+	in.Dst = IntReg(3)
+	if !in.HasDst() {
+		t.Fatal("valid dst reported as absent")
+	}
+}
+
+func TestInstStringForms(t *testing.T) {
+	mem := Inst{Seq: 1, Op: OpLoad, Dst: IntReg(1), Src1: IntReg(2), Addr: 0x1000}
+	br := Inst{Seq: 2, Op: OpBranch, Taken: true, Target: 0x2000, Src1: IntReg(3)}
+	alu := Inst{Seq: 3, Op: OpIntAlu, Dst: IntReg(4), Src1: IntReg(5), Src2: IntReg(6)}
+	for _, in := range []Inst{mem, br, alu} {
+		if in.String() == "" {
+			t.Fatalf("empty String for %v op", in.Op)
+		}
+	}
+}

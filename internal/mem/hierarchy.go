@@ -1,0 +1,309 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Kind classifies a memory access.
+type Kind uint8
+
+const (
+	// KindLoad is a demand data read.
+	KindLoad Kind = iota
+	// KindStore is a demand data write (write-allocate).
+	KindStore
+	// KindIfetch is an instruction fetch.
+	KindIfetch
+	// KindPrefetch is a speculative read issued by a runahead thread; it
+	// fills caches but does not count as a demand access.
+	KindPrefetch
+)
+
+// String names the access kind.
+func (k Kind) String() string {
+	switch k {
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindIfetch:
+		return "ifetch"
+	case KindPrefetch:
+		return "prefetch"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Level identifies which level of the hierarchy served an access.
+type Level uint8
+
+const (
+	// LevelL1 means the access hit in the first-level cache.
+	LevelL1 Level = iota
+	// LevelL2 means the access missed L1 and hit the shared L2.
+	LevelL2
+	// LevelMemory means the access missed the L2 and went to main memory.
+	// This is the paper's "long-latency" condition: the trigger for
+	// STALL/FLUSH gating and for entering runahead mode.
+	LevelMemory
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelMemory:
+		return "mem"
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// Result reports the outcome of an access.
+type Result struct {
+	// DoneAt is the cycle at which the data is available.
+	DoneAt uint64
+	// Level is the hierarchy level that served the access.
+	Level Level
+	// Merged reports that the access merged into an MSHR allocated by an
+	// earlier miss (possibly a prefetch) to the same line.
+	Merged bool
+	// NoMSHR reports that the access could not be performed because all
+	// MSHRs were busy; the caller must retry on a later cycle.
+	NoMSHR bool
+}
+
+// mshr tracks one outstanding miss to main memory.
+type mshr struct {
+	lineAddr uint64
+	fillAt   uint64
+	tid      uint8
+	write    bool
+	prefetch bool // allocated by a prefetch and not yet demanded
+	ifetch   bool
+}
+
+// Config describes the whole hierarchy.
+type Config struct {
+	IL1, DL1, L2 CacheConfig
+	// MemLatency is the flat main-memory latency in cycles (400 in Table 1).
+	MemLatency uint64
+	// MSHRs is the number of outstanding L2 misses supported.
+	MSHRs int
+}
+
+// DefaultConfig returns the Table 1 memory subsystem.
+func DefaultConfig() Config {
+	return Config{
+		IL1:        CacheConfig{Name: "IL1", SizeBytes: 64 << 10, Ways: 4, LineBytes: 64, Latency: 1},
+		DL1:        CacheConfig{Name: "DL1", SizeBytes: 64 << 10, Ways: 4, LineBytes: 64, Latency: 3},
+		L2:         CacheConfig{Name: "L2", SizeBytes: 1 << 20, Ways: 8, LineBytes: 64, Latency: 20},
+		MemLatency: 400,
+		MSHRs:      64,
+	}
+}
+
+// Hierarchy is the shared SMT memory subsystem: private-per-port L1s in
+// real designs are shared across contexts in the paper's model, so here a
+// single IL1, DL1 and L2 serve all threads.
+type Hierarchy struct {
+	cfg Config
+	il1 *Cache
+	dl1 *Cache
+	l2  *Cache
+
+	mshrs []mshr
+
+	// Statistics.
+	Accesses      [maxThreads]stats.Counter
+	L2Misses      [maxThreads]stats.Counter
+	MergedMisses  stats.Counter
+	PrefetchIssue stats.Counter
+	PrefetchLate  stats.Counter // demand merged into an in-flight prefetch
+	MSHRRejects   stats.Counter
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg Config) *Hierarchy {
+	if cfg.MSHRs <= 0 {
+		panic("mem: need at least one MSHR")
+	}
+	if cfg.MemLatency == 0 {
+		panic("mem: zero memory latency")
+	}
+	return &Hierarchy{
+		cfg:   cfg,
+		il1:   NewCache(cfg.IL1),
+		dl1:   NewCache(cfg.DL1),
+		l2:    NewCache(cfg.L2),
+		mshrs: make([]mshr, 0, cfg.MSHRs),
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// IL1 returns the instruction cache (stats access).
+func (h *Hierarchy) IL1() *Cache { return h.il1 }
+
+// DL1 returns the data cache (stats access).
+func (h *Hierarchy) DL1() *Cache { return h.dl1 }
+
+// L2 returns the shared second-level cache (stats access).
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// drain applies all MSHR fills that have completed by cycle now, installing
+// their lines into the caches. Called lazily at each access; correctness
+// relies on callers presenting non-decreasing `now` values, which the
+// cycle-driven pipeline guarantees.
+func (h *Hierarchy) drain(now uint64) {
+	if len(h.mshrs) == 0 {
+		return
+	}
+	kept := h.mshrs[:0]
+	for _, m := range h.mshrs {
+		if m.fillAt > now {
+			kept = append(kept, m)
+			continue
+		}
+		h.l2.Fill(int(m.tid), m.lineAddr, false, m.prefetch)
+		if m.ifetch {
+			h.il1.Fill(int(m.tid), m.lineAddr, false, m.prefetch)
+		} else {
+			h.dl1.Fill(int(m.tid), m.lineAddr, m.write, m.prefetch)
+		}
+	}
+	h.mshrs = kept
+}
+
+// findMSHR returns the outstanding miss covering lineAddr, if any.
+func (h *Hierarchy) findMSHR(lineAddr uint64) *mshr {
+	for i := range h.mshrs {
+		if h.mshrs[i].lineAddr == lineAddr {
+			return &h.mshrs[i]
+		}
+	}
+	return nil
+}
+
+// OutstandingMisses returns the number of busy MSHRs (diagnostics and the
+// DCRA slow-thread classification).
+func (h *Hierarchy) OutstandingMisses() int { return len(h.mshrs) }
+
+// OutstandingForThread counts busy MSHRs allocated by thread tid.
+func (h *Hierarchy) OutstandingForThread(tid int) int {
+	n := 0
+	for i := range h.mshrs {
+		if int(h.mshrs[i].tid) == tid {
+			n++
+		}
+	}
+	return n
+}
+
+// Access performs a memory access by thread tid at cycle now and returns
+// its timing. Prefetches allocate MSHRs and fill caches but never raise
+// demand statistics.
+func (h *Hierarchy) Access(kind Kind, tid int, addr uint64, now uint64) Result {
+	h.drain(now)
+	h.Accesses[tid&7].Inc()
+
+	l1 := h.dl1
+	if kind == KindIfetch {
+		l1 = h.il1
+	}
+	write := kind == KindStore
+	demand := kind != KindPrefetch
+	lineAddr := h.l2.LineAddr(addr)
+
+	// L1 probe.
+	if demand {
+		if l1.Access(tid, addr, write) {
+			return Result{DoneAt: now + l1.cfg.Latency, Level: LevelL1}
+		}
+	} else if l1.Lookup(addr) {
+		return Result{DoneAt: now + l1.cfg.Latency, Level: LevelL1}
+	}
+
+	// L2 probe.
+	if demand {
+		if h.l2.Access(tid, addr, false) {
+			done := now + l1.cfg.Latency + h.l2.cfg.Latency
+			l1.Fill(tid, lineAddr, write, false)
+			return Result{DoneAt: done, Level: LevelL2}
+		}
+	} else if h.l2.Lookup(addr) {
+		// A prefetch that hits in L2 promotes the line into the L1 so the
+		// post-runahead demand access hits close to the core.
+		l1.Fill(tid, lineAddr, false, true)
+		return Result{DoneAt: now + l1.cfg.Latency + h.l2.cfg.Latency, Level: LevelL2}
+	}
+
+	// Main memory: merge into an outstanding miss or allocate an MSHR.
+	if m := h.findMSHR(lineAddr); m != nil {
+		h.MergedMisses.Inc()
+		if demand {
+			h.L2Misses[tid&7].Inc()
+			if m.prefetch {
+				// A demand access caught up with an in-flight prefetch:
+				// the prefetch was issued but late. It still hid latency.
+				m.prefetch = false
+				m.write = m.write || write
+				h.PrefetchLate.Inc()
+			}
+		}
+		return Result{DoneAt: m.fillAt, Level: LevelMemory, Merged: true}
+	}
+	if len(h.mshrs) >= h.cfg.MSHRs {
+		h.MSHRRejects.Inc()
+		return Result{NoMSHR: true, Level: LevelMemory}
+	}
+	if demand {
+		h.L2Misses[tid&7].Inc()
+	} else {
+		h.PrefetchIssue.Inc()
+	}
+	fill := now + l1.cfg.Latency + h.l2.cfg.Latency + h.cfg.MemLatency
+	h.mshrs = append(h.mshrs, mshr{
+		lineAddr: lineAddr,
+		fillAt:   fill,
+		tid:      uint8(tid & 7),
+		write:    write,
+		prefetch: !demand,
+		ifetch:   kind == KindIfetch,
+	})
+	return Result{DoneAt: fill, Level: LevelMemory}
+}
+
+// Prewarm installs the line containing addr into the L2 and the L1
+// appropriate for kind, without timing or demand statistics. Simulation
+// harnesses use it to start from a warm state, mirroring the paper's
+// SimPoint-checkpoint methodology (caches are warm at the measured
+// interval; cold-start transients are not part of any figure).
+func (h *Hierarchy) Prewarm(kind Kind, tid int, addr uint64) {
+	lineAddr := h.l2.LineAddr(addr)
+	h.l2.Fill(tid, lineAddr, false, false)
+	if kind == KindIfetch {
+		h.il1.Fill(tid, lineAddr, false, false)
+	} else {
+		h.dl1.Fill(tid, lineAddr, kind == KindStore, false)
+	}
+}
+
+// WouldMissL2 probes (without side effects) whether an access to addr
+// would miss both its L1 and the L2 right now. Fetch policies use this to
+// anticipate long-latency loads.
+func (h *Hierarchy) WouldMissL2(kind Kind, addr uint64) bool {
+	l1 := h.dl1
+	if kind == KindIfetch {
+		l1 = h.il1
+	}
+	if l1.Lookup(addr) || h.l2.Lookup(addr) {
+		return false
+	}
+	return h.findMSHR(h.l2.LineAddr(addr)) == nil
+}

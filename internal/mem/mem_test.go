@@ -1,0 +1,349 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func smallCache() CacheConfig {
+	return CacheConfig{Name: "test", SizeBytes: 1024, Ways: 2, LineBytes: 64, Latency: 1}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := smallCache()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []CacheConfig{
+		{Name: "zero"},
+		{Name: "line", SizeBytes: 1024, Ways: 2, LineBytes: 48},
+		{Name: "sets", SizeBytes: 3 * 64, Ways: 1, LineBytes: 64},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %q accepted, want error", c.Name)
+		}
+	}
+}
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache(smallCache())
+	if c.Access(0, 0x1000, false) {
+		t.Fatal("cold cache hit")
+	}
+	c.Fill(0, 0x1000, false, false)
+	if !c.Access(0, 0x1000, false) {
+		t.Fatal("miss after fill")
+	}
+	if !c.Access(0, 0x103f, false) {
+		t.Fatal("miss within same line")
+	}
+	if c.Access(0, 0x1040, false) {
+		t.Fatal("hit on adjacent line")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache: fill three lines mapping to one set; the least recently
+	// used must be evicted.
+	c := NewCache(smallCache())
+	sets := uint64(1024 / 64 / 2)
+	stride := sets * 64 // same set, different tag
+	a, b, d := uint64(0x10000), 0x10000+stride, 0x10000+2*stride
+	c.Fill(0, a, false, false)
+	c.Fill(0, b, false, false)
+	c.Access(0, a, false) // make a more recent than b
+	c.Fill(0, d, false, false)
+	if !c.Lookup(a) {
+		t.Fatal("recently used line evicted")
+	}
+	if c.Lookup(b) {
+		t.Fatal("LRU line survived eviction")
+	}
+	if !c.Lookup(d) {
+		t.Fatal("new line not present")
+	}
+	if c.Evictions.Value() != 1 {
+		t.Fatalf("evictions = %d", c.Evictions.Value())
+	}
+}
+
+func TestCacheDirtyEviction(t *testing.T) {
+	c := NewCache(smallCache())
+	sets := uint64(1024 / 64 / 2)
+	stride := sets * 64
+	c.Fill(0, 0x0, true, false)
+	c.Fill(0, stride, false, false)
+	c.Fill(0, 2*stride, false, false) // evicts the dirty line
+	if c.DirtyEvicts.Value() != 1 {
+		t.Fatalf("dirty evictions = %d", c.DirtyEvicts.Value())
+	}
+}
+
+func TestCachePrefetchAccounting(t *testing.T) {
+	c := NewCache(smallCache())
+	c.Fill(0, 0x2000, false, true)
+	if c.PrefetchFills.Value() != 1 {
+		t.Fatal("prefetch fill not counted")
+	}
+	if !c.Access(0, 0x2000, false) {
+		t.Fatal("prefetched line missing")
+	}
+	if c.PrefetchHits.Value() != 1 {
+		t.Fatal("useful prefetch not counted")
+	}
+	// Second touch must not double-count.
+	c.Access(0, 0x2000, false)
+	if c.PrefetchHits.Value() != 1 {
+		t.Fatal("prefetch usefulness double-counted")
+	}
+}
+
+func TestCacheNeverExceedsCapacity(t *testing.T) {
+	// Property: after arbitrary fills, the number of valid lines never
+	// exceeds capacity, and all tags within a set are distinct.
+	f := func(seed uint64) bool {
+		c := NewCache(smallCache())
+		r := rng.New(seed)
+		for i := 0; i < 500; i++ {
+			c.Fill(0, r.Uint64n(1<<20)&^63, r.Bool(0.3), r.Bool(0.1))
+		}
+		valid := 0
+		for _, set := range c.sets {
+			seen := map[uint64]bool{}
+			for _, ln := range set {
+				if ln.valid {
+					valid++
+					if seen[ln.tag] {
+						return false // duplicate tag in a set
+					}
+					seen[ln.tag] = true
+				}
+			}
+		}
+		return valid <= 1024/64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheOccupancyByThread(t *testing.T) {
+	c := NewCache(smallCache())
+	c.Fill(0, 0x000, false, false) // set 0
+	c.Fill(1, 0x040, false, false) // set 1
+	c.Fill(1, 0x080, false, false) // set 2
+	occ := c.OccupancyByThread()
+	if occ[0] != 1 || occ[1] != 2 {
+		t.Fatalf("occupancy = %v", occ)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	// Cold: miss everywhere, 3 + 20 + 400.
+	r := h.Access(KindLoad, 0, 0x100000, 100)
+	if r.Level != LevelMemory {
+		t.Fatalf("cold access level = %v", r.Level)
+	}
+	if want := uint64(100 + 3 + 20 + 400); r.DoneAt != want {
+		t.Fatalf("cold access done at %d, want %d", r.DoneAt, want)
+	}
+	// After fill time: L1 hit.
+	r2 := h.Access(KindLoad, 0, 0x100000, r.DoneAt+1)
+	if r2.Level != LevelL1 || r2.DoneAt != r.DoneAt+1+3 {
+		t.Fatalf("post-fill access = %+v", r2)
+	}
+}
+
+func TestHierarchyL2HitPath(t *testing.T) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(cfg)
+	h.Access(KindLoad, 0, 0x200000, 0)
+	// Wait for fill, then evict from DL1 by filling conflicting lines.
+	now := uint64(1000)
+	h.drain(now)
+	// Touch enough distinct lines mapping to the same DL1 set to evict.
+	dl1Sets := cfg.DL1.SizeBytes / cfg.DL1.LineBytes / uint64(cfg.DL1.Ways)
+	stride := dl1Sets * cfg.DL1.LineBytes
+	for i := uint64(1); i <= 4; i++ {
+		h.dl1.Fill(0, 0x200000+i*stride, false, false)
+	}
+	if h.dl1.Lookup(0x200000) {
+		t.Fatal("line still in DL1 after conflict fills")
+	}
+	r := h.Access(KindLoad, 0, 0x200000, now)
+	if r.Level != LevelL2 {
+		t.Fatalf("expected L2 hit, got %v", r.Level)
+	}
+	if want := now + 3 + 20; r.DoneAt != want {
+		t.Fatalf("L2 hit done at %d, want %d", r.DoneAt, want)
+	}
+}
+
+func TestMSHRMerging(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	r1 := h.Access(KindLoad, 0, 0x300000, 10)
+	r2 := h.Access(KindLoad, 1, 0x300008, 50) // same line, later
+	if !r2.Merged {
+		t.Fatal("second miss did not merge")
+	}
+	if r2.DoneAt != r1.DoneAt {
+		t.Fatalf("merged miss completes at %d, original at %d", r2.DoneAt, r1.DoneAt)
+	}
+	if h.MergedMisses.Value() != 1 {
+		t.Fatal("merge not counted")
+	}
+}
+
+func TestPrefetchThenDemandMerge(t *testing.T) {
+	// The runahead pattern: prefetch allocates the MSHR, demand access
+	// merges and completes at the prefetch's fill time.
+	h := NewHierarchy(DefaultConfig())
+	p := h.Access(KindPrefetch, 0, 0x400000, 0)
+	if p.Level != LevelMemory {
+		t.Fatalf("prefetch level = %v", p.Level)
+	}
+	if h.PrefetchIssue.Value() != 1 {
+		t.Fatal("prefetch issue not counted")
+	}
+	d := h.Access(KindLoad, 0, 0x400000, 200)
+	if !d.Merged || d.DoneAt != p.DoneAt {
+		t.Fatalf("demand after prefetch: %+v (prefetch done %d)", d, p.DoneAt)
+	}
+	if h.PrefetchLate.Value() != 1 {
+		t.Fatal("late prefetch not counted")
+	}
+	// After the fill, a demand access hits in DL1 and credits the prefetch.
+	d2 := h.Access(KindLoad, 0, 0x400000, p.DoneAt+10)
+	if d2.Level != LevelL1 {
+		t.Fatalf("post-fill level = %v", d2.Level)
+	}
+}
+
+func TestPrefetchHitInL2Promotes(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	// Install a line in L2 only.
+	h.l2.Fill(0, 0x500000, false, false)
+	r := h.Access(KindPrefetch, 0, 0x500000, 0)
+	if r.Level != LevelL2 {
+		t.Fatalf("prefetch level = %v", r.Level)
+	}
+	if !h.dl1.Lookup(0x500000) {
+		t.Fatal("prefetch did not promote line into DL1")
+	}
+}
+
+func TestMSHRExhaustion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MSHRs = 2
+	h := NewHierarchy(cfg)
+	h.Access(KindLoad, 0, 0x10000, 0)
+	h.Access(KindLoad, 0, 0x20000, 0)
+	r := h.Access(KindLoad, 0, 0x30000, 0)
+	if !r.NoMSHR {
+		t.Fatal("third concurrent miss accepted with 2 MSHRs")
+	}
+	if h.MSHRRejects.Value() != 1 {
+		t.Fatal("reject not counted")
+	}
+	// After the fills drain, new misses are accepted again.
+	r2 := h.Access(KindLoad, 0, 0x30000, 10_000)
+	if r2.NoMSHR {
+		t.Fatal("miss rejected after MSHRs drained")
+	}
+}
+
+func TestIfetchPath(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	r := h.Access(KindIfetch, 0, 0x40_0000, 0)
+	if r.Level != LevelMemory {
+		t.Fatalf("cold ifetch level = %v", r.Level)
+	}
+	r2 := h.Access(KindIfetch, 0, 0x40_0000, r.DoneAt+1)
+	if r2.Level != LevelL1 {
+		t.Fatalf("warm ifetch level = %v (IL1 fill missing)", r2.Level)
+	}
+	// Ifetch must fill the IL1, not the DL1.
+	if h.dl1.Lookup(0x40_0000) {
+		t.Fatal("ifetch filled the data cache")
+	}
+}
+
+func TestWouldMissL2(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	if !h.WouldMissL2(KindLoad, 0x600000) {
+		t.Fatal("cold address reported as present")
+	}
+	h.Access(KindLoad, 0, 0x600000, 0)
+	// While in flight: an MSHR exists, so it would merge, not miss.
+	if h.WouldMissL2(KindLoad, 0x600000) {
+		t.Fatal("in-flight miss reported as fresh miss")
+	}
+	h.drain(10_000)
+	if h.WouldMissL2(KindLoad, 0x600000) {
+		t.Fatal("filled line reported as miss")
+	}
+}
+
+func TestOutstandingForThread(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	h.Access(KindLoad, 0, 0x10000, 0)
+	h.Access(KindLoad, 0, 0x20000, 0)
+	h.Access(KindLoad, 1, 0x30000, 0)
+	if h.OutstandingForThread(0) != 2 || h.OutstandingForThread(1) != 1 {
+		t.Fatalf("per-thread outstanding = %d/%d",
+			h.OutstandingForThread(0), h.OutstandingForThread(1))
+	}
+	if h.OutstandingMisses() != 3 {
+		t.Fatalf("total outstanding = %d", h.OutstandingMisses())
+	}
+}
+
+func TestStoreWriteAllocate(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	r := h.Access(KindStore, 0, 0x700000, 0)
+	if r.Level != LevelMemory {
+		t.Fatalf("cold store level = %v", r.Level)
+	}
+	h.drain(r.DoneAt + 1)
+	if !h.dl1.Lookup(0x700000) {
+		t.Fatal("store miss did not write-allocate")
+	}
+}
+
+func TestHierarchyPanicsOnBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MSHRs = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero MSHRs accepted")
+		}
+	}()
+	NewHierarchy(cfg)
+}
+
+func TestHitRate(t *testing.T) {
+	c := NewCache(smallCache())
+	c.Fill(0, 0, false, false)
+	c.Access(0, 0, false)      // hit
+	c.Access(0, 0x9000, false) // miss
+	if got := c.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", got)
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h := NewHierarchy(DefaultConfig())
+	r := rng.New(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = r.Uint64n(8 << 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(KindLoad, i&3, addrs[i&4095], uint64(i))
+	}
+}

@@ -1,0 +1,267 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// commitStage retires up to Width instructions across threads, rotating
+// the starting thread for fairness. Per-thread retirement is in program
+// order from the thread's ROB head. This stage owns the Runahead Threads
+// mode transitions: a long-latency load blocking a thread's head enters
+// runahead (§3.1); a runahead thread pseudo-retires instead of committing;
+// and when the triggering miss resolves, the thread restores its
+// checkpoint and resumes normal execution.
+func (c *Core) commitStage(now uint64) {
+	n := len(c.threads)
+	budget := c.cfg.Width
+	for k := 0; k < n && budget > 0; k++ {
+		t := c.threads[(int(now)+k)%n]
+		c.commitThread(t, now, &budget)
+	}
+}
+
+// commitThread retires from one thread's head while budget lasts.
+func (c *Core) commitThread(t *thread, now uint64, budget *int) {
+	for *budget > 0 {
+		if t.mode == ModeRunahead && now >= t.raExitAt {
+			c.exitRunahead(t, now)
+			// Fall through in normal mode next cycle (the pipe is empty).
+			return
+		}
+		if len(t.rob) == 0 {
+			return
+		}
+		head := t.rob[0]
+		if t.mode == ModeNormal {
+			if c.shouldEnterRunahead(t, head, now) {
+				c.enterRunahead(t, head, now)
+				continue // head is now poisoned-complete; pseudo-retire path
+			}
+			if !head.completed {
+				return
+			}
+			if head.tmpl.Op.IsStore() {
+				// Stores write memory at commit; an exhausted MSHR file
+				// stalls commit for this thread until a slot frees.
+				res := c.hier.Access(mem.KindStore, t.id, head.addr, now)
+				if res.NoMSHR {
+					return
+				}
+			}
+			c.retire(t, head)
+			t.stats.Committed.Inc()
+		} else {
+			if !head.completed {
+				return
+			}
+			c.retire(t, head)
+			t.stats.Runahead.PseudoRetired.Inc()
+		}
+		*budget = *budget - 1
+	}
+}
+
+// retire removes the head instruction from the ROB and releases its
+// destination register. The rename table needs no update: a retired writer
+// reads as architectural state, or as poison when it pseudo-retired
+// invalid — §3.3's "when a physical register is invalid it can be freed
+// and used by the rest of the threads" falls out of the writer-state
+// resolution in mapGet.
+func (c *Core) retire(t *thread, head *DynInst) {
+	head.retired = true
+	if head.dst >= 0 {
+		c.fileFor(head.tmpl.Dst).Release(head.dst)
+	}
+	t.rob = t.rob[1:]
+	c.robCount--
+}
+
+// shouldEnterRunahead applies the §3.1 trigger: a demand load that missed
+// the L2 reaches the thread's ROB head while the miss is still
+// outstanding.
+func (c *Core) shouldEnterRunahead(t *thread, head *DynInst, now uint64) bool {
+	if !c.cfg.Runahead.Enabled {
+		return false
+	}
+	if !head.tmpl.Op.IsLoad() || !head.issued || head.completed || !head.isL2Miss {
+		return false
+	}
+	if now < head.missDetectAt {
+		return false // the L2 has not reported the miss yet
+	}
+	if now >= head.doneAt {
+		return false // resolves this cycle anyway
+	}
+	if t.raSuppress[head.seq] {
+		// Figure 4 methodology: loads invalidated during a no-prefetch
+		// episode must not re-trigger runahead after recovery.
+		return false
+	}
+	return true
+}
+
+// enterRunahead checkpoints the thread and switches it to runahead mode.
+// The checkpoint is implicit: the trigger load sits at the thread's ROB
+// head, so everything older is committed and the per-thread architectural
+// state is exactly the committed state — only the trace position needs
+// recording. The trigger load's destination is poisoned and the load
+// pseudo-retires immediately; its miss remains in flight as the episode's
+// terminator.
+func (c *Core) enterRunahead(t *thread, head *DynInst, now uint64) {
+	t.mode = ModeRunahead
+	t.raExitAt = head.doneAt
+	t.raLoadSeq = head.seq
+	t.raEntered = now
+	t.stats.Runahead.Episodes.Inc()
+
+	head.inv = true
+	head.completed = true
+	if head.dst >= 0 {
+		c.fileFor(head.tmpl.Dst).MarkReady(head.dst, true)
+	}
+}
+
+// exitRunahead ends the episode: every in-flight instruction of the thread
+// is squashed, the rename map returns to the checkpoint (all-committed)
+// state, and fetch restarts at the trigger load after the exit penalty.
+// The re-executed load finds its line filled (or its MSHR about to fill).
+func (c *Core) exitRunahead(t *thread, now uint64) {
+	c.squashThread(t)
+	if c.paranoid {
+		if live := t.liveWriters(); live != 0 {
+			panic(fmt.Sprintf("pipeline: thread %d exits runahead with %d live mappings", t.id, live))
+		}
+	}
+	t.resetWriters() // checkpoint restore: all state architectural, poison gone
+	if c.racache != nil {
+		c.racache.FlushThread(t.id)
+	}
+	t.mode = ModeNormal
+	t.cursor = t.raLoadSeq
+	t.fetchBlockedUntil = now + c.cfg.Runahead.ExitPenalty
+	t.blockingBranch = nil
+	t.haveFetchLine = false
+}
+
+// squashThread discards every in-flight instruction of t: the whole ROB
+// window (youngest first, unwinding the rename map) and the front-end
+// queue.
+func (c *Core) squashThread(t *thread) {
+	for len(t.rob) > 0 {
+		di := t.rob[len(t.rob)-1]
+		c.unwind(t, di)
+		t.rob = t.rob[:len(t.rob)-1]
+		c.robCount--
+	}
+	c.dropFrontEnd(t)
+}
+
+// FlushAfter implements the FLUSH policy's action (Tullsen & Brown): all
+// instructions of the thread younger than the long-latency load are
+// squashed, releasing their resources; fetch restarts behind the load.
+// The caller (the policy) also blocks fetch until the miss resolves.
+func (c *Core) FlushAfter(ld *DynInst) {
+	t := c.threads[ld.tid]
+	for len(t.rob) > 0 {
+		di := t.rob[len(t.rob)-1]
+		if di == ld || di.id <= ld.id {
+			break
+		}
+		c.unwind(t, di)
+		t.rob = t.rob[:len(t.rob)-1]
+		c.robCount--
+	}
+	c.dropFrontEnd(t)
+	t.cursor = ld.seq + 1
+	t.blockingBranch = nil
+	t.haveFetchLine = false
+}
+
+// dropFrontEnd discards the not-yet-renamed front-end queue.
+func (c *Core) dropFrontEnd(t *thread) {
+	for _, di := range t.fq {
+		di.squashed = true
+		t.icount--
+		t.stats.Squashed.Inc()
+	}
+	t.fq = t.fq[:0]
+}
+
+// unwind squashes one renamed, in-flight instruction: references drop,
+// the rename map rolls back (callers iterate youngest-first so the
+// previous-mapping chain reconstructs exactly), the destination register
+// releases, and any issue-queue slot frees.
+func (c *Core) unwind(t *thread, di *DynInst) {
+	di.squashed = true
+	if !di.refsReleased {
+		c.releaseRefs(di)
+	}
+	if di.tmpl.HasDst() {
+		// Youngest-first iteration guarantees di is the current table
+		// entry; restoring its predecessor reconstructs the pre-rename
+		// state exactly (a retired predecessor reads as architectural).
+		t.writers[di.tmpl.Dst] = di.prevWriter
+	}
+	if di.dst >= 0 {
+		c.fileFor(di.tmpl.Dst).Release(di.dst)
+	}
+	if !di.issued && !di.folded {
+		c.iqs[di.iq].count--
+		t.iqHeld[di.iq]--
+		t.icount--
+	}
+	if t.blockingBranch == di {
+		t.blockingBranch = nil
+	}
+	t.stats.Squashed.Inc()
+}
+
+// CheckInvariants validates cross-structure consistency; the paranoid mode
+// runs it every cycle.
+func (c *Core) CheckInvariants() error {
+	if err := c.intRF.CheckInvariants(); err != nil {
+		return err
+	}
+	if err := c.fpRF.CheckInvariants(); err != nil {
+		return err
+	}
+	robTotal := 0
+	for _, t := range c.threads {
+		robTotal += len(t.rob)
+		// icount must equal fq + unissued/unfolded queue entries.
+		want := len(t.fq)
+		for _, q := range c.iqs[1:] {
+			for _, di := range q.entries {
+				if di.tid == t.id && !di.issued && !di.folded && !di.squashed {
+					want++
+				}
+			}
+		}
+		if t.icount != want {
+			return fmt.Errorf("thread %d: icount %d, want %d", t.id, t.icount, want)
+		}
+	}
+	if robTotal != c.robCount {
+		return fmt.Errorf("robCount %d, threads hold %d", c.robCount, robTotal)
+	}
+	if c.robCount > c.cfg.ROBSize {
+		return fmt.Errorf("ROB over capacity: %d > %d", c.robCount, c.cfg.ROBSize)
+	}
+	for _, q := range c.iqs[1:] {
+		live := 0
+		for _, di := range q.entries {
+			if !di.issued && !di.folded && !di.squashed {
+				live++
+			}
+		}
+		if live > q.count {
+			return fmt.Errorf("queue %d: %d live entries, count %d", q.kind, live, q.count)
+		}
+		if q.count > q.cap {
+			return fmt.Errorf("queue %d over capacity: %d > %d", q.kind, q.count, q.cap)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/runahead"
+)
+
+// Config is the SMT core configuration. DefaultConfig reproduces Table 1
+// of the paper.
+type Config struct {
+	// Width is the machine width: fetch, dispatch, issue and commit
+	// bandwidth per cycle (8 in Table 1).
+	Width int
+	// FetchThreads is how many threads may fetch in one cycle (the 2 of
+	// ICOUNT.2.8).
+	FetchThreads int
+	// FrontEndDepth is the fetch-to-dispatch latency in cycles; together
+	// with the execution stages it models the 10-stage pipe.
+	FrontEndDepth uint64
+	// FetchQueue is the per-thread front-end buffer capacity.
+	FetchQueue int
+	// ROBSize is the shared reorder buffer capacity (512 in Table 1).
+	ROBSize int
+	// IntRegs and FPRegs size the shared physical register files
+	// (320 / 320 in Table 1).
+	IntRegs, FPRegs int
+	// IntIQ, FPIQ, LSIQ size the shared issue queues (64 each in Table 1).
+	IntIQ, FPIQ, LSIQ int
+	// IntFU, FPFU, LSFU count the functional units (6 / 3 / 4 in Table 1).
+	IntFU, FPFU, LSFU int
+
+	// Execution latencies (cycles).
+	IntMulLat, FPAluLat, FPMulLat, FPDivLat uint64
+
+	// MispredictRedirect is the extra fetch-redirect cost after a resolved
+	// branch misprediction, on top of waiting for resolution.
+	MispredictRedirect uint64
+
+	// BranchPredRows sizes the shared perceptron table.
+	BranchPredRows int
+
+	// Mem configures the memory hierarchy.
+	Mem mem.Config
+
+	// Runahead configures the RaT mechanism (zero value = disabled).
+	Runahead runahead.Config
+
+	// RunaheadCacheEntries sizes the optional runahead cache.
+	RunaheadCacheEntries int
+}
+
+// DefaultConfig returns the Table 1 processor.
+func DefaultConfig() Config {
+	return Config{
+		Width:                8,
+		FetchThreads:         2,
+		FrontEndDepth:        5,
+		FetchQueue:           16,
+		ROBSize:              512,
+		IntRegs:              320,
+		FPRegs:               320,
+		IntIQ:                64,
+		FPIQ:                 64,
+		LSIQ:                 64,
+		IntFU:                6,
+		FPFU:                 3,
+		LSFU:                 4,
+		IntMulLat:            3,
+		FPAluLat:             4,
+		FPMulLat:             4,
+		FPDivLat:             12,
+		MispredictRedirect:   7,
+		BranchPredRows:       4096,
+		Mem:                  mem.DefaultConfig(),
+		RunaheadCacheEntries: 512,
+	}
+}
+
+// Validate rejects incoherent configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Width <= 0:
+		return fmt.Errorf("pipeline: width %d", c.Width)
+	case c.FetchThreads <= 0:
+		return fmt.Errorf("pipeline: fetch threads %d", c.FetchThreads)
+	case c.ROBSize <= 0:
+		return fmt.Errorf("pipeline: ROB size %d", c.ROBSize)
+	case c.IntRegs <= 0 || c.FPRegs <= 0:
+		return fmt.Errorf("pipeline: register file sizes %d/%d", c.IntRegs, c.FPRegs)
+	case c.IntIQ <= 0 || c.FPIQ <= 0 || c.LSIQ <= 0:
+		return fmt.Errorf("pipeline: issue queue sizes %d/%d/%d", c.IntIQ, c.FPIQ, c.LSIQ)
+	case c.IntFU <= 0 || c.FPFU <= 0 || c.LSFU <= 0:
+		return fmt.Errorf("pipeline: functional unit counts %d/%d/%d", c.IntFU, c.FPFU, c.LSFU)
+	case c.FetchQueue <= 0:
+		return fmt.Errorf("pipeline: fetch queue %d", c.FetchQueue)
+	case c.BranchPredRows <= 0:
+		return fmt.Errorf("pipeline: predictor rows %d", c.BranchPredRows)
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// issueStage performs wakeup and select for each issue queue: instructions
+// whose operands are ready issue oldest-first to a free functional unit,
+// within the global issue width. In runahead mode, instructions whose
+// operands are poisoned are folded here (never executed), releasing their
+// queue slot without consuming issue bandwidth — the "light thread"
+// behaviour of §3.2.
+func (c *Core) issueStage(now uint64) {
+	budget := c.cfg.Width
+	for _, kind := range [...]IQKind{IQInt, IQLS, IQFP} {
+		c.scanQueue(c.iqs[kind], now, &budget)
+	}
+}
+
+// scanQueue walks one queue in age order, compacting out entries that have
+// left (issued, folded, squashed) and issuing the ready ones.
+func (c *Core) scanQueue(q *issueQueue, now uint64, budget *int) {
+	units := c.fuBusy[q.kind]
+	kept := q.entries[:0]
+	for _, di := range q.entries {
+		if di.squashed || di.issued || di.folded {
+			continue // already gone; compact
+		}
+		t := c.threads[di.tid]
+
+		// Runahead folding on poisoned operands.
+		if t.mode == ModeRunahead && c.operandInvForIssue(di) {
+			c.foldInQueue(t, di)
+			continue
+		}
+
+		if !c.operandsReady(di) {
+			kept = append(kept, di)
+			continue
+		}
+		if *budget == 0 {
+			kept = append(kept, di)
+			continue
+		}
+		// Select a free functional unit of this class.
+		unit := -1
+		for u := range units {
+			if units[u] <= now {
+				unit = u
+				break
+			}
+		}
+		if unit < 0 {
+			kept = append(kept, di)
+			continue
+		}
+		if !c.execute(t, di, now) {
+			// Structural retry (MSHRs exhausted): stays in the queue.
+			kept = append(kept, di)
+			continue
+		}
+		// Occupy the unit: pipelined ops for one cycle, FP divide for its
+		// full latency (the unpipelined unit of Table 1's era).
+		if di.tmpl.Op == isa.OpFpDiv {
+			units[unit] = now + c.cfg.FPDivLat
+		} else {
+			units[unit] = now + 1
+		}
+		*budget = *budget - 1
+		di.issued = true
+		c.releaseRefs(di)
+		q.count--
+		t.iqHeld[q.kind]--
+		t.icount--
+		t.stats.Executed.Inc()
+	}
+	q.entries = kept
+}
+
+// operandsReady reports whether all renamed sources have produced.
+func (c *Core) operandsReady(di *DynInst) bool {
+	if di.src1 >= 0 && !c.fileFor(di.tmpl.Src1).Ready(di.src1) {
+		return false
+	}
+	if di.src2 >= 0 && !c.fileFor(di.tmpl.Src2).Ready(di.src2) {
+		return false
+	}
+	return true
+}
+
+// operandInvForIssue reports whether di must fold due to poisoned
+// operands: for memory ops only the address source counts; for everything
+// else, either source.
+func (c *Core) operandInvForIssue(di *DynInst) bool {
+	if c.regKnownInv(di.tmpl.Src1, di.src1) {
+		return true
+	}
+	if di.tmpl.Op.IsMem() {
+		return false
+	}
+	return c.regKnownInv(di.tmpl.Src2, di.src2)
+}
+
+// foldInQueue folds an instruction discovered invalid after dispatch: its
+// destination is poisoned, its references release, and its queue slot
+// frees — without occupying a functional unit.
+func (c *Core) foldInQueue(t *thread, di *DynInst) {
+	di.folded = true
+	di.completed = true
+	di.inv = true
+	c.releaseRefs(di)
+	if di.dst >= 0 {
+		c.fileFor(di.tmpl.Dst).MarkReady(di.dst, true)
+	}
+	c.iqs[di.iq].count--
+	t.iqHeld[di.iq]--
+	t.icount--
+	t.stats.Runahead.Folded.Inc()
+	if di.tmpl.Op.IsLoad() {
+		t.stats.Runahead.InvalidLoads.Inc()
+	}
+	// A poisoned branch cannot be validated; runahead proceeds down the
+	// predicted path without penalty (§3.1 "follow the most likely path").
+	if di == t.blockingBranch {
+		t.blockingBranch = nil
+	}
+}
+
+// releaseRefs drops di's source references once it has read (issued or
+// folded) — idempotent via the refsReleased flag.
+func (c *Core) releaseRefs(di *DynInst) {
+	if di.refsReleased {
+		return
+	}
+	di.refsReleased = true
+	if di.src1 >= 0 {
+		c.fileFor(di.tmpl.Src1).DecRef(di.src1)
+	}
+	if di.src2 >= 0 {
+		c.fileFor(di.tmpl.Src2).DecRef(di.src2)
+	}
+}
+
+// execute starts di's execution at cycle now, scheduling its completion.
+// It returns false if a structural hazard (MSHR exhaustion) forces a
+// retry next cycle.
+func (c *Core) execute(t *thread, di *DynInst, now uint64) bool {
+	op := di.tmpl.Op
+	var done uint64
+	switch {
+	case op.IsLoad():
+		ok, d := c.executeLoad(t, di, now)
+		if !ok {
+			return false
+		}
+		done = d
+	case op.IsStore():
+		done = now + 1 // address generation; data memory is touched at commit
+		if t.mode == ModeRunahead {
+			c.executeRunaheadStore(t, di, now)
+		}
+	case op == isa.OpIntMul:
+		done = now + c.cfg.IntMulLat
+	case op == isa.OpFpAlu:
+		done = now + c.cfg.FPAluLat
+	case op == isa.OpFpMul:
+		done = now + c.cfg.FPMulLat
+	case op == isa.OpFpDiv:
+		done = now + c.cfg.FPDivLat
+	default: // IntAlu, Branch, Nop, sync ops in normal mode
+		done = now + 1
+	}
+	if done <= now {
+		done = now + 1
+	}
+	c.schedule(di, now, done)
+	return true
+}
+
+// executeLoad performs the data-cache access for a load. Normal mode uses
+// a demand access and records long-latency misses (the STALL/FLUSH/RaT
+// trigger). Runahead mode converts L2 misses into prefetches and poisons
+// the destination instead of waiting (§3.2).
+func (c *Core) executeLoad(t *thread, di *DynInst, now uint64) (ok bool, done uint64) {
+	addr := di.addr
+	if t.mode != ModeRunahead {
+		res := c.hier.Access(mem.KindLoad, t.id, addr, now)
+		if res.NoMSHR {
+			return false, 0
+		}
+		if res.Level == mem.LevelMemory {
+			di.isL2Miss = true
+			di.doneAt = res.DoneAt // published early for the detection path
+			di.missDetectAt = now + c.cfg.Mem.DL1.Latency + c.cfg.Mem.L2.Latency
+			t.stats.L2MissLoads.Inc()
+			c.pendingDetect = append(c.pendingDetect, di)
+		}
+		return true, res.DoneAt
+	}
+
+	// Runahead load.
+	if c.racache != nil {
+		line := addr &^ (c.cfg.Mem.DL1.LineBytes - 1)
+		if found, invData := c.racache.LookupLoad(t.id, line); found {
+			// Store-to-load communication through the runahead cache: the
+			// load forwards without a memory access and inherits the
+			// stored data's validity.
+			di.inv = invData
+			if invData {
+				t.stats.Runahead.InvalidLoads.Inc()
+			}
+			return true, now + 1
+		}
+	}
+	if !c.cfg.Runahead.Prefetch {
+		// Figure 4 "no prefetching" ablation: no access below the L1; an
+		// L1 miss is poisoned, and the load is recorded so it cannot
+		// re-trigger runahead after recovery (the paper's period-matching
+		// methodology).
+		if c.hier.DL1().Lookup(addr) {
+			return true, now + c.cfg.Mem.DL1.Latency
+		}
+		di.inv = true
+		t.raSuppress[di.seq] = true
+		t.stats.Runahead.InvalidLoads.Inc()
+		return true, now + 1
+	}
+	res := c.hier.Access(mem.KindPrefetch, t.id, addr, now)
+	if res.NoMSHR {
+		// No MSHR for the prefetch: poison and move on; runahead never
+		// waits on memory.
+		di.inv = true
+		t.stats.Runahead.InvalidLoads.Inc()
+		return true, now + 1
+	}
+	if res.Level == mem.LevelMemory {
+		// Long-latency: the access stays in flight as a prefetch; the
+		// load's result is poisoned and the thread keeps running.
+		di.inv = true
+		t.stats.Runahead.PrefetchesIssued.Inc()
+		t.stats.Runahead.InvalidLoads.Inc()
+		return true, now + 1
+	}
+	return true, res.DoneAt
+}
+
+// executeRunaheadStore issues the prefetch side effects of a valid-address
+// runahead store: the target line is prefetched (stores miss too), and
+// with the runahead cache enabled, the store records its data validity for
+// later loads.
+func (c *Core) executeRunaheadStore(t *thread, di *DynInst, now uint64) {
+	addr := di.addr
+	if c.racache != nil {
+		line := addr &^ (c.cfg.Mem.DL1.LineBytes - 1)
+		invData := c.regKnownInv(di.tmpl.Src2, di.src2)
+		c.racache.RecordStore(t.id, line, invData)
+	}
+	if c.cfg.Runahead.Prefetch {
+		res := c.hier.Access(mem.KindPrefetch, t.id, addr, now)
+		if !res.NoMSHR && res.Level == mem.LevelMemory {
+			t.stats.Runahead.PrefetchesIssued.Inc()
+		}
+	}
+}
+
+// schedule registers di's completion at cycle done.
+func (c *Core) schedule(di *DynInst, now, done uint64) {
+	if done-now >= wheelSize {
+		// Defensive: the wheel must never wrap past an in-flight event.
+		panic(fmt.Sprintf("pipeline: completion %d cycles ahead exceeds wheel %d", done-now, wheelSize))
+	}
+	di.doneAt = done
+	slot := done % wheelSize
+	c.wheel[slot] = append(c.wheel[slot], di)
+}
+
+// detectMisses fires the L2-miss detections due this cycle: the paper's
+// STALL/FLUSH reactions (and the runahead trigger gate) happen when the
+// L2 reports the miss, roughly an L1+L2 latency after issue — not the
+// instant the access leaves the core. Loads squashed or already resolved
+// in the meantime detect nothing.
+func (c *Core) detectMisses(now uint64) {
+	if len(c.pendingDetect) == 0 {
+		return
+	}
+	kept := c.pendingDetect[:0]
+	for _, di := range c.pendingDetect {
+		if di.squashed || now >= di.doneAt {
+			continue
+		}
+		if now < di.missDetectAt {
+			kept = append(kept, di)
+			continue
+		}
+		t := c.threads[di.tid]
+		t.pendingMisses = append(t.pendingMisses, di.doneAt)
+		c.policy.OnL2Miss(c, di)
+	}
+	c.pendingDetect = kept
+}
+
+// completeStage drains completions scheduled for this cycle: results
+// become ready, dependents can wake next scan, and branches resolve.
+func (c *Core) completeStage(now uint64) {
+	slot := now % wheelSize
+	for _, di := range c.wheel[slot] {
+		if di.squashed || di.completed {
+			continue
+		}
+		di.completed = true
+		if di.dst >= 0 {
+			c.fileFor(di.tmpl.Dst).MarkReady(di.dst, di.inv)
+		}
+		if di.tmpl.Op.IsBranch() {
+			c.resolveBranch(di, now)
+		}
+	}
+	c.wheel[slot] = c.wheel[slot][:0]
+}
+
+// resolveBranch trains the predictor and lifts the fetch block of a
+// resolved misprediction, charging the redirect penalty.
+func (c *Core) resolveBranch(di *DynInst, now uint64) {
+	t := c.threads[di.tid]
+	t.stats.BranchResolved.Inc()
+	if !di.inv {
+		t.bp.Update(di.tmpl.PC, di.tmpl.Taken)
+	}
+	if di.mispredicted {
+		t.stats.BranchMispredicted.Inc()
+		if t.blockingBranch == di {
+			t.blockingBranch = nil
+			t.haveFetchLine = false
+			redirect := now + 1 + c.cfg.MispredictRedirect
+			if redirect > t.fetchBlockedUntil {
+				t.fetchBlockedUntil = redirect
+			}
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package pipeline implements the cycle-level SMT out-of-order core: an
+// 8-wide, 10-stage machine with a shared 512-entry reorder buffer, shared
+// issue queues and physical register files, per-thread rename maps, a
+// shared perceptron branch predictor, and the Runahead Threads mechanism
+// woven through its dispatch, issue and commit stages.
+//
+// One call to Step advances the machine one cycle. Stages run in reverse
+// pipeline order (commit, issue, dispatch, fetch) so a resource freed in
+// cycle N is usable in cycle N+1, not N — the usual discrete-timing
+// discipline for synchronous pipeline models.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/regfile"
+	"repro/internal/runahead"
+	"repro/internal/trace"
+)
+
+// Policy is the fetch/resource policy plugged into the core. The paper's
+// static fetch policies (ICOUNT, STALL, FLUSH) and dynamic resource
+// controllers (DCRA, Hill Climbing) all implement it; RaT itself is not a
+// Policy but a core mechanism enabled through Config.Runahead, composed
+// with the ICOUNT fetch policy exactly as in the paper.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// FetchPriority appends to buf the threads allowed to fetch this
+	// cycle, highest priority first. Mechanically-blocked threads are
+	// filtered afterwards by the core.
+	FetchPriority(c *Core, buf []int) []int
+	// CanDispatch gates per-thread dispatch (resource caps; DCRA and Hill
+	// Climbing live here).
+	CanDispatch(c *Core, tid int) bool
+	// OnL2Miss fires when a demand load by a normal-mode thread is served
+	// by main memory (the FLUSH trigger).
+	OnL2Miss(c *Core, ld *DynInst)
+	// Tick runs once per cycle after all stages (epoch bookkeeping).
+	Tick(c *Core)
+}
+
+// wheelSize is the completion ring capacity; it must exceed the longest
+// possible completion latency (memory: 3+20+400, plus slack).
+const wheelSize = 1024
+
+// issueQueue is one shared issue queue.
+type issueQueue struct {
+	kind    IQKind
+	cap     int
+	count   int
+	entries []*DynInst // age (dispatch) order
+}
+
+// Core is the SMT processor.
+type Core struct {
+	cfg     Config
+	hier    *mem.Hierarchy
+	intRF   *regfile.File
+	fpRF    *regfile.File
+	threads []*thread
+	policy  Policy
+	racache *runahead.Cache
+
+	iqs    [4]*issueQueue // indexed by IQKind; IQNone unused
+	fuBusy [4][]uint64    // per-class unit busy-until cycles
+
+	wheel         [wheelSize][]*DynInst
+	pendingDetect []*DynInst // L2 misses awaiting detection
+	cycle         uint64
+	nextID        uint64
+	robCount      int
+
+	orderBuf []int
+	// paranoid enables per-cycle invariant checking (tests).
+	paranoid bool
+}
+
+// New builds a core running the given traces (one per hardware context)
+// under the given policy. A nil policy selects plain ICOUNT.
+func New(cfg Config, traces []*trace.Trace, pol Policy) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("pipeline: no threads")
+	}
+	if len(traces) > 8 {
+		return nil, fmt.Errorf("pipeline: %d threads exceeds the 8-context limit", len(traces))
+	}
+	if pol == nil {
+		pol = ICount{}
+	}
+	c := &Core{
+		cfg:    cfg,
+		hier:   mem.NewHierarchy(cfg.Mem),
+		intRF:  regfile.New("int", cfg.IntRegs),
+		fpRF:   regfile.New("fp", cfg.FPRegs),
+		policy: pol,
+	}
+	c.iqs[IQInt] = &issueQueue{kind: IQInt, cap: cfg.IntIQ}
+	c.iqs[IQFP] = &issueQueue{kind: IQFP, cap: cfg.FPIQ}
+	c.iqs[IQLS] = &issueQueue{kind: IQLS, cap: cfg.LSIQ}
+	c.fuBusy[IQInt] = make([]uint64, cfg.IntFU)
+	c.fuBusy[IQFP] = make([]uint64, cfg.FPFU)
+	c.fuBusy[IQLS] = make([]uint64, cfg.LSFU)
+	if cfg.Runahead.UseRunaheadCache {
+		c.racache = runahead.NewCache(cfg.RunaheadCacheEntries)
+	}
+	preds := bpred.NewPerceptronShared(cfg.BranchPredRows, len(traces))
+	for i, tr := range traces {
+		c.threads = append(c.threads, &thread{
+			id:         i,
+			tr:         tr,
+			bp:         preds[i],
+			raSuppress: map[uint64]bool{},
+		})
+	}
+	return c, nil
+}
+
+// SetParanoid toggles per-cycle invariant checking (slow; tests only).
+func (c *Core) SetParanoid(on bool) { c.paranoid = on }
+
+// WarmupICache installs every code line of every thread's trace into the
+// instruction cache hierarchy, untimed. Measured intervals in the paper
+// start from warm SimPoint checkpoints; without this, a short simulation
+// spends its first thousands of cycles serializing on cold code misses
+// that no figure is about. Data caches are deliberately left cold: data
+// warmth is workload behaviour (the L2 miss rate defines the MEM class)
+// and emerges from the measured run itself.
+func (c *Core) WarmupICache() {
+	for _, t := range c.threads {
+		for i := 0; i < t.tr.Len(); i++ {
+			c.hier.Prewarm(mem.KindIfetch, t.id, t.tr.At(uint64(i)).PC)
+		}
+	}
+}
+
+// WarmupCaches performs a full untimed warm pass: one trace iteration per
+// thread installing both code and data lines (interleaved across threads
+// so shared-cache capacity pressure at measurement start resembles steady
+// state). This reproduces the paper's measurement discipline — SimPoint
+// intervals start from checkpoints with warm caches, so no figure includes
+// cold-start compulsory misses. Capacity behaviour is unaffected:
+// footprints beyond the L2 still miss in steady state, which is exactly
+// the MEM classification.
+func (c *Core) WarmupCaches() {
+	maxLen := 0
+	for _, t := range c.threads {
+		if t.tr.Len() > maxLen {
+			maxLen = t.tr.Len()
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		for _, t := range c.threads {
+			if i >= t.tr.Len() {
+				continue
+			}
+			in := t.tr.At(uint64(i))
+			c.hier.Prewarm(mem.KindIfetch, t.id, in.PC)
+			if in.Op.IsMem() {
+				kind := mem.KindLoad
+				if in.Op.IsStore() {
+					kind = mem.KindStore
+				}
+				c.hier.Prewarm(kind, t.id, t.tr.AddrAt(uint64(i)))
+			}
+		}
+	}
+}
+
+// Step advances the machine by one cycle.
+func (c *Core) Step() {
+	now := c.cycle
+	c.completeStage(now)
+	c.detectMisses(now)
+	c.commitStage(now)
+	c.issueStage(now)
+	c.dispatchStage(now)
+	c.fetchStage(now)
+	c.policy.Tick(c)
+	c.sample(now)
+	if c.paranoid {
+		if err := c.CheckInvariants(); err != nil {
+			panic(fmt.Sprintf("cycle %d: %v", now, err))
+		}
+	}
+	c.cycle++
+}
+
+// sample records the per-cycle statistics (Figure 5's register occupancy
+// by mode).
+func (c *Core) sample(uint64) {
+	for _, t := range c.threads {
+		regs := float64(c.intRF.OwnerCount(t.id) + c.fpRF.OwnerCount(t.id))
+		if t.mode == ModeRunahead {
+			t.stats.RegsRunahead.Observe(regs)
+			t.stats.Runahead.CyclesInRunahead.Inc()
+		} else {
+			t.stats.RegsNormal.Observe(regs)
+		}
+	}
+}
+
+// --- Accessors (the policy/harness query API) -------------------------------
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// NumThreads returns the number of hardware contexts.
+func (c *Core) NumThreads() int { return len(c.threads) }
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Hierarchy exposes the memory subsystem (statistics, probes).
+func (c *Core) Hierarchy() *mem.Hierarchy { return c.hier }
+
+// ICount returns thread tid's fetch-to-issue instruction count, the ICOUNT
+// priority input.
+func (c *Core) ICount(tid int) int { return c.threads[tid].icount }
+
+// PendingL2Miss reports whether tid has a demand L2 miss outstanding.
+func (c *Core) PendingL2Miss(tid int) bool {
+	return c.threads[tid].pendingL2Miss(c.cycle)
+}
+
+// FetchCursor returns tid's next trace position to fetch. Policies that
+// gate fetch by instruction distance (the MLP-aware fetch policy) consult
+// it.
+func (c *Core) FetchCursor(tid int) uint64 { return c.threads[tid].cursor }
+
+// InRunahead reports whether tid is in runahead mode.
+func (c *Core) InRunahead(tid int) bool {
+	return c.threads[tid].mode == ModeRunahead
+}
+
+// ROBOccupancy returns the number of ROB entries held by tid.
+func (c *Core) ROBOccupancy(tid int) int { return len(c.threads[tid].rob) }
+
+// ROBUsed returns the total occupied ROB entries.
+func (c *Core) ROBUsed() int { return c.robCount }
+
+// IQHeld returns the issue-queue entries of the given kind held by tid.
+func (c *Core) IQHeld(tid int, kind IQKind) int { return c.threads[tid].iqHeld[kind] }
+
+// RegsHeld returns the physical registers (INT+FP) held by tid.
+func (c *Core) RegsHeld(tid int) int {
+	return c.intRF.OwnerCount(tid) + c.fpRF.OwnerCount(tid)
+}
+
+// IntRegsHeld returns only the integer registers held by tid.
+func (c *Core) IntRegsHeld(tid int) int { return c.intRF.OwnerCount(tid) }
+
+// FPRegsHeld returns only the FP registers held by tid.
+func (c *Core) FPRegsHeld(tid int) int { return c.fpRF.OwnerCount(tid) }
+
+// Committed returns tid's architecturally committed instruction count.
+func (c *Core) Committed(tid int) uint64 {
+	return c.threads[tid].stats.Committed.Value()
+}
+
+// CommittedTotal sums committed instructions over all threads.
+func (c *Core) CommittedTotal() uint64 {
+	var s uint64
+	for _, t := range c.threads {
+		s += t.stats.Committed.Value()
+	}
+	return s
+}
+
+// ExecutedTotal sums executed (energy-consuming) instructions over all
+// threads, including runahead and squashed work — the ED² numerator.
+func (c *Core) ExecutedTotal() uint64 {
+	var s uint64
+	for _, t := range c.threads {
+		s += t.stats.Executed.Value()
+	}
+	return s
+}
+
+// Stats returns tid's statistics block.
+func (c *Core) Stats(tid int) *ThreadStats { return &c.threads[tid].stats }
+
+// BlockFetchUntil prevents tid from fetching before the given cycle
+// (policy hook: FLUSH's restart delay, STALL variants).
+func (c *Core) BlockFetchUntil(tid int, cycle uint64) {
+	t := c.threads[tid]
+	if cycle > t.fetchBlockedUntil {
+		t.fetchBlockedUntil = cycle
+	}
+}
+
+// ThreadsByICount appends all thread ids to buf ordered by ascending
+// ICOUNT (ties by id), the standard ICOUNT priority.
+func (c *Core) ThreadsByICount(buf []int) []int {
+	for i := range c.threads {
+		buf = append(buf, i)
+	}
+	// Insertion sort: n <= 8.
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0; j-- {
+			a, b := buf[j-1], buf[j]
+			if c.threads[a].icount > c.threads[b].icount ||
+				(c.threads[a].icount == c.threads[b].icount && a > b) {
+				buf[j-1], buf[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return buf
+}
+
+// fileFor returns the physical register file backing an architectural
+// register, or nil for RegNone.
+func (c *Core) fileFor(a isa.Reg) *regfile.File {
+	switch {
+	case a.IsInt():
+		return c.intRF
+	case a.IsFP():
+		return c.fpRF
+	}
+	return nil
+}
+
+// --- ICOUNT -------------------------------------------------------------------
+
+// ICount is the baseline ICOUNT fetch policy (Tullsen et al., ISCA 1996):
+// threads with the fewest in-flight (fetch-to-issue) instructions fetch
+// first. It imposes no dispatch caps and no miss reaction — it is both the
+// paper's baseline and the fetch-priority layer under STALL, FLUSH and RaT.
+type ICount struct{}
+
+// Name implements Policy.
+func (ICount) Name() string { return "ICOUNT" }
+
+// FetchPriority implements Policy: ascending ICOUNT order.
+func (ICount) FetchPriority(c *Core, buf []int) []int { return c.ThreadsByICount(buf) }
+
+// CanDispatch implements Policy: no caps.
+func (ICount) CanDispatch(*Core, int) bool { return true }
+
+// OnL2Miss implements Policy: no reaction.
+func (ICount) OnL2Miss(*Core, *DynInst) {}
+
+// Tick implements Policy: nothing per cycle.
+func (ICount) Tick(*Core) {}

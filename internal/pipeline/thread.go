@@ -1,0 +1,158 @@
+package pipeline
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/isa"
+	"repro/internal/regfile"
+	"repro/internal/runahead"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Mode is a thread's execution mode.
+type Mode uint8
+
+const (
+	// ModeNormal is ordinary committed execution.
+	ModeNormal Mode = iota
+	// ModeRunahead is the speculative light mode of a Runahead Thread.
+	ModeRunahead
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeRunahead {
+		return "runahead"
+	}
+	return "normal"
+}
+
+// ThreadStats aggregates one hardware context's activity.
+type ThreadStats struct {
+	// Committed counts architecturally committed instructions (IPC's
+	// numerator).
+	Committed stats.Counter
+	// Fetched counts instructions brought into the front end.
+	Fetched stats.Counter
+	// Executed counts instructions that occupied a functional unit,
+	// including runahead and later-squashed work — the energy proxy the
+	// paper's ED² metric (§5.3) is built on.
+	Executed stats.Counter
+	// Squashed counts instructions discarded by flushes and runahead exits.
+	Squashed stats.Counter
+	// BranchResolved / BranchMispredicted drive predictor accuracy stats.
+	BranchResolved     stats.Counter
+	BranchMispredicted stats.Counter
+	// L2MissLoads counts demand loads served by main memory.
+	L2MissLoads stats.Counter
+	// Runahead groups the RaT counters.
+	Runahead runahead.Stats
+	// RegsNormal and RegsRunahead sample per-cycle allocated physical
+	// registers (INT+FP) by mode — Figure 5's measurement.
+	RegsNormal, RegsRunahead stats.RunningMean
+}
+
+// thread is one hardware context.
+type thread struct {
+	id int
+	tr *trace.Trace
+	bp *bpred.Perceptron
+
+	// cursor is the next trace position to fetch (monotonic; the trace
+	// wraps internally, modelling FAME re-execution).
+	cursor uint64
+
+	// fq is the front-end queue: fetched, not yet renamed.
+	fq []*DynInst
+	// rob is the thread's program-order window slice of the shared ROB.
+	rob []*DynInst
+
+	// writers is the rename table: the latest writer of each architectural
+	// register. The physical mapping derives from the writer's state (see
+	// mapGet), which makes rollback and the runahead checkpoint exact: a
+	// retired writer reads as architectural state (or poison if it
+	// pseudo-retired invalid), an in-flight writer reads as its physical
+	// destination.
+	writers [isa.NumArchRegs]*DynInst
+
+	// icount tracks instructions between fetch and issue (the ICOUNT
+	// priority input).
+	icount int
+	// iqHeld counts issue-queue entries currently held, per queue kind.
+	iqHeld [4]int
+
+	// Fetch gating.
+	fetchBlockedUntil uint64
+	blockingBranch    *DynInst // unresolved mispredicted branch stalls fetch
+	lastFetchLine     uint64
+	haveFetchLine     bool
+
+	// Outstanding demand L2 misses (completion cycles); STALL and FLUSH
+	// gate fetch while any is in the future.
+	pendingMisses []uint64
+
+	// Runahead state.
+	mode      Mode
+	raExitAt  uint64
+	raLoadSeq uint64
+	raEntered uint64 // cycle of entry, for period stats
+	// raSuppress records (by thread-local seq) loads that were invalidated
+	// during a no-prefetch runahead episode; they must not re-trigger
+	// runahead after recovery (Figure 4 methodology).
+	raSuppress map[uint64]bool
+
+	stats ThreadStats
+}
+
+// mapGet resolves an architectural register to its current physical
+// mapping: None for architectural (committed) state, Invalid for a
+// poisoned value with no backing register, or the in-flight writer's
+// destination.
+func (t *thread) mapGet(a isa.Reg) regfile.PhysReg {
+	if a == isa.RegNone {
+		return regfile.None
+	}
+	w := t.writers[a]
+	if w == nil {
+		return regfile.None
+	}
+	if w.retired {
+		if w.inv {
+			return regfile.Invalid
+		}
+		return regfile.None
+	}
+	return w.dst
+}
+
+// resetWriters restores the rename table to the all-architectural
+// checkpoint state (runahead exit).
+func (t *thread) resetWriters() {
+	for i := range t.writers {
+		t.writers[i] = nil
+	}
+}
+
+// liveWriters counts table entries naming in-flight instructions.
+func (t *thread) liveWriters() int {
+	n := 0
+	for _, w := range t.writers {
+		if w != nil && !w.retired && !w.squashed {
+			n++
+		}
+	}
+	return n
+}
+
+// pendingL2Miss reports whether the thread has a demand miss outstanding
+// at cycle now, pruning resolved entries.
+func (t *thread) pendingL2Miss(now uint64) bool {
+	kept := t.pendingMisses[:0]
+	for _, d := range t.pendingMisses {
+		if d > now {
+			kept = append(kept, d)
+		}
+	}
+	t.pendingMisses = kept
+	return len(kept) > 0
+}

@@ -1,0 +1,103 @@
+// Package policy implements the paper's static instruction-fetch policies:
+// Round-Robin, STALL and FLUSH (ICOUNT itself lives in the pipeline
+// package as the built-in baseline; STALL and FLUSH layer on top of
+// ICOUNT priority exactly as in Tullsen & Brown, "Handling long-latency
+// loads in a simultaneous multithreading processor", MICRO 2001).
+package policy
+
+import (
+	"repro/internal/pipeline"
+)
+
+// RoundRobin rotates fetch priority across threads each cycle — the
+// original SMT fetch scheme, provided as a comparator.
+type RoundRobin struct{}
+
+// Name implements pipeline.Policy.
+func (RoundRobin) Name() string { return "RR" }
+
+// FetchPriority implements pipeline.Policy with a cycle-rotating order.
+func (RoundRobin) FetchPriority(c *pipeline.Core, buf []int) []int {
+	n := c.NumThreads()
+	start := int(c.Cycle()) % n
+	for i := 0; i < n; i++ {
+		buf = append(buf, (start+i)%n)
+	}
+	return buf
+}
+
+// CanDispatch implements pipeline.Policy: no caps.
+func (RoundRobin) CanDispatch(*pipeline.Core, int) bool { return true }
+
+// OnL2Miss implements pipeline.Policy: no reaction.
+func (RoundRobin) OnL2Miss(*pipeline.Core, *pipeline.DynInst) {}
+
+// Tick implements pipeline.Policy.
+func (RoundRobin) Tick(*pipeline.Core) {}
+
+// Stall is the STALL policy: ICOUNT fetch priority, but a thread with a
+// pending L2 miss stops fetching until the miss resolves. Its already-
+// allocated resources are held — the under-utilization the paper calls
+// out.
+type Stall struct{}
+
+// Name implements pipeline.Policy.
+func (Stall) Name() string { return "STALL" }
+
+// FetchPriority implements pipeline.Policy: ICOUNT order minus threads
+// with outstanding long-latency misses.
+func (Stall) FetchPriority(c *pipeline.Core, buf []int) []int {
+	ordered := c.ThreadsByICount(buf)
+	kept := ordered[:0]
+	for _, tid := range ordered {
+		if !c.PendingL2Miss(tid) {
+			kept = append(kept, tid)
+		}
+	}
+	return kept
+}
+
+// CanDispatch implements pipeline.Policy: no caps.
+func (Stall) CanDispatch(*pipeline.Core, int) bool { return true }
+
+// OnL2Miss implements pipeline.Policy: gating is purely via FetchPriority.
+func (Stall) OnL2Miss(*pipeline.Core, *pipeline.DynInst) {}
+
+// Tick implements pipeline.Policy.
+func (Stall) Tick(*pipeline.Core) {}
+
+// Flush is the FLUSH policy: on detecting a long-latency load, all of the
+// thread's younger instructions are flushed (releasing every resource they
+// held) and fetch stays blocked until the miss returns, paying a re-start
+// latency. FLUSH trades re-fetch/re-execution energy for resource
+// availability — the trade the paper's ED² analysis quantifies.
+type Flush struct {
+	// RestartPenalty is the extra fetch-block after the miss returns,
+	// modelling pipeline refill.
+	RestartPenalty uint64
+}
+
+// NewFlush returns FLUSH with the default restart penalty.
+func NewFlush() Flush { return Flush{RestartPenalty: 4} }
+
+// Name implements pipeline.Policy.
+func (Flush) Name() string { return "FLUSH" }
+
+// FetchPriority implements pipeline.Policy: like STALL, threads with
+// pending misses do not fetch (their window was just flushed anyway).
+func (Flush) FetchPriority(c *pipeline.Core, buf []int) []int {
+	return Stall{}.FetchPriority(c, buf)
+}
+
+// CanDispatch implements pipeline.Policy: no caps.
+func (Flush) CanDispatch(*pipeline.Core, int) bool { return true }
+
+// OnL2Miss implements pipeline.Policy: flush younger instructions and
+// block fetch until the load's data returns.
+func (f Flush) OnL2Miss(c *pipeline.Core, ld *pipeline.DynInst) {
+	c.FlushAfter(ld)
+	c.BlockFetchUntil(ld.Thread(), ld.DoneAt()+f.RestartPenalty)
+}
+
+// Tick implements pipeline.Policy.
+func (Flush) Tick(*pipeline.Core) {}

@@ -1,0 +1,89 @@
+// Package rescontrol implements the paper's dynamic resource control
+// comparators: DCRA (Cazorla et al., "Dynamically controlled resource
+// allocation in SMT processors", MICRO 2004) and Hill Climbing (Choi &
+// Yeung, "Learning-based SMT processor resource distribution via
+// hill-climbing", ISCA 2006). Both plug into the pipeline as Policies
+// whose CanDispatch hook enforces per-thread resource caps.
+package rescontrol
+
+import (
+	"repro/internal/pipeline"
+)
+
+// DCRA monitors per-thread resource usage and grants memory-intensive
+// ("slow") threads a larger share of the critical shared resources,
+// gating any thread that exceeds its share. Classification follows the
+// DCRA paper's spirit: a thread with an outstanding cache miss is slow;
+// shares weight slow threads by SlowWeight.
+type DCRA struct {
+	// SlowWeight is the share multiplier for slow threads (the DCRA
+	// paper's C parameter; 4 reproduces its "slow threads need roughly 4x
+	// the registers" observation).
+	SlowWeight int
+}
+
+// NewDCRA returns DCRA with the paper's weighting.
+func NewDCRA() *DCRA { return &DCRA{SlowWeight: 4} }
+
+// Name implements pipeline.Policy.
+func (*DCRA) Name() string { return "DCRA" }
+
+// FetchPriority implements pipeline.Policy: DCRA keeps ICOUNT fetch
+// priority; its control is in the allocation caps.
+func (*DCRA) FetchPriority(c *pipeline.Core, buf []int) []int {
+	return c.ThreadsByICount(buf)
+}
+
+// weights returns each thread's share weight and the total.
+func (d *DCRA) weights(c *pipeline.Core) (w [8]int, total int) {
+	sw := d.SlowWeight
+	if sw <= 0 {
+		sw = 4
+	}
+	for tid := 0; tid < c.NumThreads(); tid++ {
+		w[tid] = 1
+		if c.PendingL2Miss(tid) || c.InRunahead(tid) {
+			w[tid] = sw
+		}
+		total += w[tid]
+	}
+	return w, total
+}
+
+// CanDispatch implements pipeline.Policy: a thread may dispatch while its
+// usage of every capped resource (physical registers and issue queue
+// entries) stays within its weighted share.
+func (d *DCRA) CanDispatch(c *pipeline.Core, tid int) bool {
+	w, total := d.weights(c)
+	cfg := c.Config()
+	share := func(capacity int) int {
+		s := capacity * w[tid] / total
+		if s < 4 {
+			s = 4 // floor: no thread starves below a minimal allocation
+		}
+		return s
+	}
+	if c.IntRegsHeld(tid) >= share(cfg.IntRegs) {
+		return false
+	}
+	if c.FPRegsHeld(tid) >= share(cfg.FPRegs) {
+		return false
+	}
+	if c.IQHeld(tid, pipeline.IQInt) >= share(cfg.IntIQ) {
+		return false
+	}
+	if c.IQHeld(tid, pipeline.IQFP) >= share(cfg.FPIQ) {
+		return false
+	}
+	if c.IQHeld(tid, pipeline.IQLS) >= share(cfg.LSIQ) {
+		return false
+	}
+	return true
+}
+
+// OnL2Miss implements pipeline.Policy: classification is re-derived each
+// cycle from pending-miss state, so nothing to do here.
+func (*DCRA) OnL2Miss(*pipeline.Core, *pipeline.DynInst) {}
+
+// Tick implements pipeline.Policy.
+func (*DCRA) Tick(*pipeline.Core) {}

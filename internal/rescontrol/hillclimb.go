@@ -1,0 +1,167 @@
+package rescontrol
+
+import (
+	"repro/internal/pipeline"
+)
+
+// HillClimbing is the Choi & Yeung learning-based resource distributor in
+// its throughput-guided form ("Hill-Thru" — the variant the paper
+// evaluates, since the others need offline single-thread IPCs). The
+// machine's partitionable resources (ROB share, physical registers, issue
+// queue entries) are divided by a per-thread share vector. Learning is
+// epoch-based gradient ascent: each round tries boosting each thread's
+// share by Delta for one epoch, measures throughput, then moves the base
+// partition toward the best trial.
+type HillClimbing struct {
+	// EpochCycles is the trial epoch length.
+	EpochCycles uint64
+	// Delta is the share boost applied to the trial thread.
+	Delta float64
+
+	shares   []float64 // base partition, sums to 1
+	trial    int       // thread whose share is boosted this epoch
+	inEpoch  uint64    // cycles elapsed in the current epoch
+	baseline uint64    // committed count at epoch start
+	scores   []float64 // per-trial throughput of the current round
+	started  bool
+}
+
+// NewHillClimbing returns the policy with the paper-scale parameters.
+func NewHillClimbing() *HillClimbing {
+	return &HillClimbing{EpochCycles: 16384, Delta: 0.10}
+}
+
+// Name implements pipeline.Policy.
+func (*HillClimbing) Name() string { return "HillClimbing" }
+
+// FetchPriority implements pipeline.Policy: ICOUNT priority order.
+func (*HillClimbing) FetchPriority(c *pipeline.Core, buf []int) []int {
+	return c.ThreadsByICount(buf)
+}
+
+// init sizes the share vector on first use.
+func (h *HillClimbing) init(c *pipeline.Core) {
+	if h.started {
+		return
+	}
+	n := c.NumThreads()
+	h.shares = make([]float64, n)
+	for i := range h.shares {
+		h.shares[i] = 1 / float64(n)
+	}
+	h.scores = make([]float64, n)
+	h.baseline = c.CommittedTotal()
+	h.started = true
+	if h.EpochCycles == 0 {
+		h.EpochCycles = 16384
+	}
+	if h.Delta <= 0 {
+		h.Delta = 0.10
+	}
+}
+
+// effectiveShare returns tid's share under the current trial.
+func (h *HillClimbing) effectiveShare(c *pipeline.Core, tid int) float64 {
+	h.init(c)
+	n := len(h.shares)
+	s := h.shares[tid]
+	if n > 1 {
+		if tid == h.trial {
+			s += h.Delta
+		} else {
+			s -= h.Delta / float64(n-1)
+		}
+	}
+	if s < 0.05 {
+		s = 0.05
+	}
+	return s
+}
+
+// CanDispatch implements pipeline.Policy: enforce the partition on the
+// ROB, the register files, and the issue queues.
+func (h *HillClimbing) CanDispatch(c *pipeline.Core, tid int) bool {
+	s := h.effectiveShare(c, tid)
+	cfg := c.Config()
+	lim := func(capacity int) int {
+		l := int(s * float64(capacity))
+		if l < 8 {
+			l = 8
+		}
+		return l
+	}
+	if c.ROBOccupancy(tid) >= lim(cfg.ROBSize) {
+		return false
+	}
+	if c.IntRegsHeld(tid) >= lim(cfg.IntRegs) {
+		return false
+	}
+	if c.FPRegsHeld(tid) >= lim(cfg.FPRegs) {
+		return false
+	}
+	if c.IQHeld(tid, pipeline.IQInt) >= lim(cfg.IntIQ) {
+		return false
+	}
+	if c.IQHeld(tid, pipeline.IQFP) >= lim(cfg.FPIQ) {
+		return false
+	}
+	if c.IQHeld(tid, pipeline.IQLS) >= lim(cfg.LSIQ) {
+		return false
+	}
+	return true
+}
+
+// OnL2Miss implements pipeline.Policy.
+func (*HillClimbing) OnL2Miss(*pipeline.Core, *pipeline.DynInst) {}
+
+// Tick implements pipeline.Policy: epoch accounting and the gradient move.
+func (h *HillClimbing) Tick(c *pipeline.Core) {
+	h.init(c)
+	h.inEpoch++
+	if h.inEpoch < h.EpochCycles {
+		return
+	}
+	// Epoch boundary: score the trial by committed throughput.
+	committed := c.CommittedTotal()
+	h.scores[h.trial] = float64(committed - h.baseline)
+	h.baseline = committed
+	h.inEpoch = 0
+	h.trial++
+	if h.trial < len(h.shares) {
+		return
+	}
+	// Round complete: move the base partition toward the best trial.
+	h.trial = 0
+	best := 0
+	for i, s := range h.scores {
+		if s > h.scores[best] {
+			best = i
+		}
+	}
+	n := float64(len(h.shares))
+	for i := range h.shares {
+		if i == best {
+			h.shares[i] += h.Delta / 2
+		} else {
+			h.shares[i] -= h.Delta / 2 / (n - 1)
+		}
+		if h.shares[i] < 0.05 {
+			h.shares[i] = 0.05
+		}
+	}
+	// Renormalize.
+	var sum float64
+	for _, s := range h.shares {
+		sum += s
+	}
+	for i := range h.shares {
+		h.shares[i] /= sum
+	}
+}
+
+// Shares returns a copy of the current base partition (diagnostics).
+func (h *HillClimbing) Shares() []float64 {
+	out := make([]float64, len(h.shares))
+	copy(out, h.shares)
+	return out
+}

@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio with zero denominator must be 0")
+	}
+	if got := Ratio(1, 4); got != 0.25 {
+		t.Fatalf("Ratio(1,4) = %v", got)
+	}
+}
+
+func TestRunningMean(t *testing.T) {
+	var m RunningMean
+	if m.Mean() != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	for i := 1; i <= 100; i++ {
+		m.Observe(float64(i))
+	}
+	if got := m.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 50.5", got)
+	}
+	if m.Count() != 100 {
+		t.Fatalf("count = %d", m.Count())
+	}
+}
+
+func TestRunningMeanObserveN(t *testing.T) {
+	var a, b RunningMean
+	for i := 0; i < 10; i++ {
+		a.Observe(3)
+	}
+	b.ObserveN(3, 10)
+	if a.Mean() != b.Mean() || a.Count() != b.Count() {
+		t.Fatal("ObserveN disagrees with repeated Observe")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(10, 20, 30)
+	for _, v := range []uint64{0, 9, 10, 19, 20, 29, 30, 100} {
+		h.Observe(v)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	wantCounts := []uint64{2, 2, 2, 2}
+	for i, w := range wantCounts {
+		if h.counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%s)", i, h.counts[i], w, h)
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, bounds := range [][]uint64{{}, {5, 5}, {5, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for i := uint64(0); i < 90; i++ {
+		h.Observe(5) // bucket [0,10)
+	}
+	for i := uint64(0); i < 10; i++ {
+		h.Observe(500) // bucket [100,1000)
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Fatalf("p50 = %d, want 10", q)
+	}
+	if q := h.Quantile(0.99); q != 1000 {
+		t.Fatalf("p99 = %d, want 1000", q)
+	}
+	var empty Histogram
+	if (&empty).Total() != 0 {
+		t.Fatal("zero histogram non-empty")
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(10)
+	h.Observe(2)
+	h.Observe(4)
+	if got := h.Mean(); got != 3 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1, 1}); got != 1 {
+		t.Fatalf("HM(1,1,1) = %v", got)
+	}
+	// HM(1, 3) = 2/(1 + 1/3) = 1.5
+	if got := HarmonicMean([]float64{1, 3}); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("HM(1,3) = %v", got)
+	}
+	if HarmonicMean(nil) != 0 || HarmonicMean([]float64{0, 1}) != 0 {
+		t.Fatal("degenerate harmonic means must be 0")
+	}
+}
+
+func TestHarmonicLEArithmetic(t *testing.T) {
+	// AM-HM inequality, a good property-based invariant.
+	f := func(raw []uint16) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			xs = append(xs, float64(r)+1) // strictly positive
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return HarmonicMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GM(2,8) = %v", got)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{0, 1}) != 0 {
+		t.Fatal("degenerate geomeans must be 0")
+	}
+}
+
+func TestGeoMeanBetweenHarmonicAndArithmetic(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			xs = append(xs, float64(r)+1)
+		}
+		hm, gm, am := HarmonicMean(xs), GeoMean(xs), Mean(xs)
+		return hm <= gm+1e-9 && gm <= am+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestAddrAtPureInSeq(t *testing.T) {
+	// Runahead/flush re-execution correctness depends on AddrAt being a
+	// pure function of the absolute sequence number.
+	tr := Generate(MustLookup("art"), Options{Len: 3000, Seed: 1})
+	f := func(raw uint32) bool {
+		seq := uint64(raw) % 30000
+		return tr.AddrAt(seq) == tr.AddrAt(seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	for _, seq := range []uint64{0, 2999, 3000, 8999, 29999} {
+		a, b := tr.AddrAt(seq), tr.AddrAt(seq)
+		if a != b {
+			t.Fatalf("AddrAt(%d) unstable: %x vs %x", seq, a, b)
+		}
+	}
+}
+
+func TestAddrAtShiftsColdAcrossIterations(t *testing.T) {
+	// A capacity-bound benchmark must touch fresh cold lines each
+	// iteration: iteration 1's cold addresses differ from iteration 0's.
+	p := MustLookup("art") // 6MB working set
+	tr := Generate(p, Options{Len: 4000, Seed: 2})
+	shifted, cold := 0, 0
+	for i := 0; i < tr.Len(); i++ {
+		in := tr.At(uint64(i))
+		if !in.Op.IsMem() {
+			continue
+		}
+		a0 := tr.AddrAt(uint64(i))
+		a1 := tr.AddrAt(uint64(i + tr.Len()))
+		if isCold(p, a0) {
+			cold++
+			if a0 != a1 {
+				shifted++
+			}
+		} else if a0 != a1 {
+			t.Fatalf("hot address shifted across iterations: %#x -> %#x", a0, a1)
+		}
+	}
+	if cold == 0 {
+		t.Fatal("no cold accesses generated")
+	}
+	if shifted < cold*9/10 {
+		t.Fatalf("only %d/%d cold addresses shifted", shifted, cold)
+	}
+}
+
+func TestAddrAtNoShiftForResidentFootprints(t *testing.T) {
+	// Sub-L2 working sets are fully resident in steady state; their
+	// addresses must loop unchanged (shifting would fake compulsory
+	// misses forever).
+	tr := Generate(MustLookup("gzip"), Options{Len: 4000, Seed: 3})
+	for i := 0; i < tr.Len(); i++ {
+		if !tr.At(uint64(i)).Op.IsMem() {
+			continue
+		}
+		if tr.AddrAt(uint64(i)) != tr.AddrAt(uint64(i+tr.Len())) {
+			t.Fatalf("resident benchmark address shifted at %d", i)
+		}
+	}
+}
+
+func TestAddrAtStaysInWorkingSet(t *testing.T) {
+	p := MustLookup("swim")
+	opt := Options{Len: 4000, Seed: 4, DataBase: 0x3000_0000}
+	tr := Generate(p, opt)
+	lo := opt.DataBase
+	hi := opt.DataBase + p.WorkingSet + 4096
+	for iter := uint64(0); iter < 40; iter++ {
+		for i := 0; i < tr.Len(); i += 7 {
+			seq := iter*uint64(tr.Len()) + uint64(i)
+			if !tr.At(seq).Op.IsMem() {
+				continue
+			}
+			a := tr.AddrAt(seq)
+			if a < lo || a >= hi {
+				t.Fatalf("iteration %d: address %#x escapes working set", iter, a)
+			}
+		}
+	}
+}
+
+func TestFromInstsNeverShifts(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpLoad, Dst: isa.IntReg(1), Src1: isa.IntReg(28), Addr: 0x9000},
+		{Op: isa.OpIntAlu, Dst: isa.IntReg(2), Src1: isa.IntReg(28), Src2: isa.IntReg(29)},
+	}
+	tr := FromInsts("hand", ClassILP, insts)
+	for iter := uint64(0); iter < 5; iter++ {
+		if tr.AddrAt(iter*2) != 0x9000 {
+			t.Fatalf("hand-built trace shifted at iteration %d", iter)
+		}
+	}
+}
+
+func TestFromInstsPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromInsts(empty) did not panic")
+		}
+	}()
+	FromInsts("x", ClassILP, nil)
+}
+
+// isCold reports whether addr lies beyond the profile's hot region (for a
+// trace generated at the default data base).
+func isCold(p Profile, addr uint64) bool {
+	const base = 0x1000_0000
+	return addr >= base+p.HotBytes
+}

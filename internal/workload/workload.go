@@ -1,0 +1,137 @@
+// Package workload defines the multiprogrammed workload suite of Table 2:
+// 54 workloads of 2 or 4 SPEC CPU2000 benchmarks, grouped by thread count
+// and memory behaviour (ILP / MIX / MEM), exactly as the paper lists them.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Workload is one multiprogrammed combination.
+type Workload struct {
+	// Group is the Table 2 column: ILP2, MIX2, MEM2, ILP4, MIX4 or MEM4.
+	Group string
+	// Benchmarks are the SPEC names, one per hardware context.
+	Benchmarks []string
+}
+
+// Name renders the canonical workload name, e.g. "MEM2/art+mcf".
+func (w Workload) Name() string {
+	return w.Group + "/" + strings.Join(w.Benchmarks, "+")
+}
+
+// Threads returns the context count.
+func (w Workload) Threads() int { return len(w.Benchmarks) }
+
+// table2 transcribes Table 2 of the paper.
+var table2 = map[string][][]string{
+	"ILP2": {
+		{"apsi", "eon"}, {"apsi", "gcc"}, {"bzip2", "vortex"}, {"fma3d", "gcc"},
+		{"fma3d", "mesa"}, {"gcc", "mgrid"}, {"gzip", "bzip2"}, {"gzip", "vortex"},
+		{"mgrid", "galgel"}, {"wupwise", "gcc"},
+	},
+	"MIX2": {
+		{"applu", "vortex"}, {"art", "gzip"}, {"bzip2", "mcf"}, {"equake", "bzip2"},
+		{"galgel", "equake"}, {"lucas", "crafty"}, {"mcf", "eon"}, {"swim", "mgrid"},
+		{"twolf", "apsi"}, {"wupwise", "twolf"},
+	},
+	"MEM2": {
+		{"applu", "art"}, {"art", "mcf"}, {"art", "twolf"}, {"art", "vpr"},
+		{"equake", "swim"}, {"mcf", "twolf"}, {"parser", "mcf"}, {"swim", "mcf"},
+		{"swim", "vpr"}, {"twolf", "swim"},
+	},
+	"ILP4": {
+		{"apsi", "eon", "fma3d", "gcc"}, {"apsi", "eon", "gzip", "vortex"},
+		{"apsi", "gap", "wupwise", "perl"}, {"crafty", "fma3d", "apsi", "vortex"},
+		{"fma3d", "gcc", "gzip", "vortex"}, {"gzip", "bzip2", "eon", "gcc"},
+		{"mesa", "gzip", "fma3d", "bzip2"}, {"wupwise", "gcc", "mgrid", "galgel"},
+	},
+	"MIX4": {
+		{"ammp", "applu", "apsi", "eon"}, {"art", "gap", "twolf", "crafty"},
+		{"art", "mcf", "fma3d", "gcc"}, {"gzip", "twolf", "bzip2", "mcf"},
+		{"lucas", "crafty", "equake", "bzip2"}, {"mcf", "mesa", "lucas", "gzip"},
+		{"swim", "fma3d", "vpr", "bzip2"}, {"swim", "twolf", "gzip", "vortex"},
+	},
+	"MEM4": {
+		{"art", "mcf", "swim", "twolf"}, {"art", "mcf", "vpr", "swim"},
+		{"art", "twolf", "equake", "mcf"}, {"equake", "parser", "mcf", "lucas"},
+		{"equake", "vpr", "applu", "twolf"}, {"mcf", "twolf", "vpr", "parser"},
+		{"parser", "applu", "swim", "twolf"}, {"swim", "applu", "art", "mcf"},
+	},
+}
+
+// Groups lists the Table 2 groups in presentation order.
+func Groups() []string {
+	return []string{"ILP2", "MIX2", "MEM2", "ILP4", "MIX4", "MEM4"}
+}
+
+// ByGroup returns all workloads of one group.
+func ByGroup(group string) []Workload {
+	rows, ok := table2[group]
+	if !ok {
+		panic("workload: unknown group " + group)
+	}
+	out := make([]Workload, 0, len(rows))
+	for _, b := range rows {
+		out = append(out, Workload{Group: group, Benchmarks: b})
+	}
+	return out
+}
+
+// All returns the full 54-workload suite in group order.
+func All() []Workload {
+	var out []Workload
+	for _, g := range Groups() {
+		out = append(out, ByGroup(g)...)
+	}
+	return out
+}
+
+// Benchmarks returns the union of benchmarks used anywhere in Table 2.
+func Benchmarks() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, w := range All() {
+		for _, b := range w.Benchmarks {
+			if !seen[b] {
+				seen[b] = true
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// Address-space layout: each hardware context owns a disjoint 1GB data
+// region and a 16MB code region, so the shared caches see genuine
+// per-thread footprints with no accidental sharing.
+const (
+	dataRegionBase   = 0x1000_0000
+	dataRegionStride = 0x4000_0000
+	codeRegionBase   = 0x0040_0000
+	codeRegionStride = 0x0100_0000
+)
+
+// Traces materializes the workload's instruction traces: one per context,
+// deterministic in (workload, seed, length), with disjoint address spaces
+// and decorrelated generation streams (two copies of one benchmark do not
+// march in lockstep).
+func (w Workload) Traces(length int, seed uint64) []*trace.Trace {
+	out := make([]*trace.Trace, 0, len(w.Benchmarks))
+	for i, name := range w.Benchmarks {
+		p, ok := trace.Lookup(name)
+		if !ok {
+			panic(fmt.Sprintf("workload %s: unknown benchmark %q", w.Name(), name))
+		}
+		out = append(out, trace.Generate(p, trace.Options{
+			Len:      length,
+			Seed:     seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15),
+			DataBase: uint64(dataRegionBase + i*dataRegionStride),
+			CodeBase: uint64(codeRegionBase + i*codeRegionStride),
+		}))
+	}
+	return out
+}

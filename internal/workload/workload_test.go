@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestTable2Counts(t *testing.T) {
+	// The paper's Table 2: 10 workloads per 2-thread group, 8 per 4-thread
+	// group, 54 in total.
+	want := map[string]int{"ILP2": 10, "MIX2": 10, "MEM2": 10, "ILP4": 8, "MIX4": 8, "MEM4": 8}
+	total := 0
+	for g, n := range want {
+		got := len(ByGroup(g))
+		if got != n {
+			t.Errorf("%s has %d workloads, want %d", g, got, n)
+		}
+		total += got
+	}
+	if len(All()) != total || total != 54 {
+		t.Fatalf("total workloads = %d, want 54", len(All()))
+	}
+}
+
+func TestThreadCountsMatchGroups(t *testing.T) {
+	for _, w := range All() {
+		want := 2
+		if w.Group[len(w.Group)-1] == '4' {
+			want = 4
+		}
+		if w.Threads() != want {
+			t.Errorf("%s has %d threads, want %d", w.Name(), w.Threads(), want)
+		}
+	}
+}
+
+func TestAllBenchmarksHaveProfiles(t *testing.T) {
+	for _, b := range Benchmarks() {
+		if _, ok := trace.Lookup(b); !ok {
+			t.Errorf("benchmark %q in Table 2 has no profile", b)
+		}
+	}
+}
+
+func TestMEMGroupsAreMemoryBound(t *testing.T) {
+	// Every benchmark in a MEM workload must be MEM-classified; ILP groups
+	// must be pure ILP. (MIX groups mix by construction.)
+	for _, g := range []string{"MEM2", "MEM4"} {
+		for _, w := range ByGroup(g) {
+			for _, b := range w.Benchmarks {
+				if trace.MustLookup(b).Class != trace.ClassMEM {
+					t.Errorf("%s contains non-MEM benchmark %s", w.Name(), b)
+				}
+			}
+		}
+	}
+	for _, g := range []string{"ILP2", "ILP4"} {
+		for _, w := range ByGroup(g) {
+			for _, b := range w.Benchmarks {
+				if trace.MustLookup(b).Class != trace.ClassILP {
+					t.Errorf("%s contains non-ILP benchmark %s", w.Name(), b)
+				}
+			}
+		}
+	}
+}
+
+func TestMIXGroupsActuallyMix(t *testing.T) {
+	for _, g := range []string{"MIX2", "MIX4"} {
+		for _, w := range ByGroup(g) {
+			mem, ilp := 0, 0
+			for _, b := range w.Benchmarks {
+				if trace.MustLookup(b).Class == trace.ClassMEM {
+					mem++
+				} else {
+					ilp++
+				}
+			}
+			if mem == 0 || ilp == 0 {
+				t.Errorf("%s does not mix classes (mem=%d ilp=%d)", w.Name(), mem, ilp)
+			}
+		}
+	}
+}
+
+func TestTracesDisjointAddressSpaces(t *testing.T) {
+	w := ByGroup("MEM2")[1] // art+mcf
+	traces := w.Traces(5000, 1)
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	// Collect address ranges; they must not overlap.
+	var ranges [][2]uint64
+	for _, tr := range traces {
+		lo, hi := ^uint64(0), uint64(0)
+		for i := 0; i < tr.Len(); i++ {
+			in := tr.At(uint64(i))
+			if in.Op.IsMem() {
+				if in.Addr < lo {
+					lo = in.Addr
+				}
+				if in.Addr > hi {
+					hi = in.Addr
+				}
+			}
+		}
+		ranges = append(ranges, [2]uint64{lo, hi})
+	}
+	if ranges[0][1] >= ranges[1][0] && ranges[1][1] >= ranges[0][0] {
+		t.Fatalf("data ranges overlap: %x vs %x", ranges[0], ranges[1])
+	}
+}
+
+func TestTracesDeterministic(t *testing.T) {
+	w := ByGroup("MIX2")[0]
+	a := w.Traces(2000, 7)
+	b := w.Traces(2000, 7)
+	for i := range a {
+		for j := uint64(0); j < 2000; j++ {
+			if *a[i].At(j) != *b[i].At(j) {
+				t.Fatalf("trace %d diverges at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestDuplicateBenchmarksDecorrelated(t *testing.T) {
+	// MEM4 "swim,applu,art,mcf" has no duplicates; craft a workload with
+	// one to verify copies decorrelate.
+	w := Workload{Group: "MEM2", Benchmarks: []string{"art", "art"}}
+	traces := w.Traces(2000, 3)
+	same := 0
+	for j := uint64(0); j < 2000; j++ {
+		a, b := traces[0].At(j), traces[1].At(j)
+		if a.Op == b.Op && a.Addr-0 == b.Addr-0x4000_0000+0 { // same offset in own region
+			same++
+		}
+	}
+	if same > 1500 {
+		t.Fatalf("duplicate benchmark copies correlate: %d/2000 identical", same)
+	}
+}
+
+func TestByGroupPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown group accepted")
+		}
+	}()
+	ByGroup("NOPE")
+}
