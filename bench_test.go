@@ -11,6 +11,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/runahead"
 	"repro/internal/workload"
 )
 
@@ -35,6 +37,56 @@ func BenchmarkTable1_BaselineMachine(b *testing.B) {
 		if _, err := core.Run(cfg, w); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// steadyStateCore builds a runahead-enabled core on a representative MEM2
+// workload and steps it past its allocation transient (DynInst pool
+// build-up, ring/wheel growth), so what follows measures the steady state.
+func steadyStateCore(tb testing.TB) *pipeline.Core {
+	tb.Helper()
+	w := workload.ByGroup("MEM2")[1]
+	cfg := pipeline.DefaultConfig()
+	cfg.Runahead = runahead.Default()
+	c, err := pipeline.New(cfg, w.Traces(6_000, 1), nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c.WarmupCaches()
+	for i := 0; i < 200_000; i++ {
+		c.Step()
+	}
+	return c
+}
+
+// BenchmarkStepAllocs guards the zero-allocation property of the
+// simulation hot loop: once warm, Core.Step must not touch the heap
+// (allocs/op must report 0). The DynInst free list, the ring-buffered
+// ROB/fetch queues, and the id-validated completion wheel are what this
+// benchmark protects.
+func BenchmarkStepAllocs(b *testing.B) {
+	c := steadyStateCore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+// TestStepZeroAllocSteadyState is the same guard in test form, so plain
+// `go test` catches an allocation regression without running benchmarks.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state warmup is slow")
+	}
+	c := steadyStateCore(t)
+	avg := testing.AllocsPerRun(50_000, func() { c.Step() })
+	// A strict zero tolerates no background growth at all; allow a hair
+	// of slack for one-off capacity doublings that survive warmup, while
+	// still failing hard if Step ever allocates per cycle (or per fetched
+	// instruction, which shows up as >1 per step).
+	if avg > 0.001 {
+		t.Fatalf("Core.Step allocates %.4f objects/cycle in steady state, want 0", avg)
 	}
 }
 

@@ -27,6 +27,7 @@ func main() {
 	perGroup := flag.Int("pergroup", 0, "override workloads per group (0 = all)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	groups := flag.String("groups", "", "comma-separated group filter (e.g. MEM2,MEM4)")
+	workers := flag.Int("j", 0, "concurrent simulations (0 = all cores)")
 	flag.Parse()
 
 	opt := experiments.Default()
@@ -43,6 +44,7 @@ func main() {
 		opt.Groups = strings.Split(*groups, ",")
 	}
 	opt.Seed = *seed
+	opt.Workers = *workers
 
 	s := experiments.NewSession(opt)
 	want := strings.ToLower(*fig)

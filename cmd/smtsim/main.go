@@ -29,6 +29,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	regs := flag.Int("regs", 0, "override INT/FP physical register file size")
 	fair := flag.Bool("fairness", false, "also run single-thread references and report fairness")
+	workers := flag.Int("j", 0, "concurrent single-thread reference runs for -fairness (0 = all cores)")
 	list := flag.Bool("list", false, "list benchmarks and policies, then exit")
 	flag.Parse()
 
@@ -97,6 +98,10 @@ func main() {
 
 	if *fair {
 		st := core.NewSTCache(cfg)
+		if err := st.Prewarm(names, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		stv, err := st.STVector(w)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

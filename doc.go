@@ -12,6 +12,20 @@
 // (internal/metrics, internal/core), and a harness that regenerates every
 // figure of the evaluation (internal/experiments, cmd/experiments).
 //
+// The experiment harness is parallel: the paper's evaluation grid is a set
+// of independent workload×policy simulations, and experiments.Session
+// dispatches them onto a bounded worker pool (experiments.Options.Workers;
+// 0 selects GOMAXPROCS) with singleflight deduplication, so figures that
+// share runs still simulate each point exactly once. Both binaries expose
+// the pool via a -j flag: `experiments -j 8` bounds concurrent
+// simulations while regenerating figures, and `smtsim -fairness -j 4`
+// parallelizes the single-thread reference runs. Results are bit-identical
+// for any worker count — each simulation is deterministic and reductions
+// collect in a fixed order — so -j trades nothing but wall-clock time.
+// The simulator's per-cycle loop is allocation-free in steady state
+// (instructions recycle through a per-core free list; see
+// internal/pipeline/pool.go and BenchmarkStepAllocs).
+//
 // Start with README.md for a tour, DESIGN.md for the architecture and the
 // substitutions made for unavailable artifacts, and EXPERIMENTS.md for the
 // measured-versus-published comparison of every table and figure.

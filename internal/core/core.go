@@ -11,11 +11,14 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/rescontrol"
 	"repro/internal/runahead"
+	"repro/internal/singleflight"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -319,30 +322,85 @@ func RunSingle(cfg Config, benchmark string) (*Result, error) {
 }
 
 // STCache memoizes single-thread reference IPCs keyed by benchmark (the
-// machine configuration is fixed per cache instance).
+// machine configuration is fixed per cache instance). It is safe for
+// concurrent use: simultaneous requests for one benchmark share a single
+// simulation, singleflight-style. Errors memoize like results — a
+// reference run's outcome is a pure function of the configuration, so a
+// retry could never succeed.
 type STCache struct {
 	cfg Config
-	m   map[string]float64
+	g   singleflight.Group[string, float64]
 }
 
 // NewSTCache builds a cache for the given machine configuration.
 func NewSTCache(cfg Config) *STCache {
-	return &STCache{cfg: cfg, m: map[string]float64{}}
+	return &STCache{cfg: cfg}
+}
+
+// compute runs the reference simulation and publishes its result.
+func (s *STCache) compute(benchmark string, c *singleflight.Call[float64]) {
+	res, err := RunSingle(s.cfg, benchmark)
+	if err != nil {
+		c.Fulfill(0, err)
+		return
+	}
+	c.Fulfill(res.Threads[0].IPC, nil)
 }
 
 // IPC returns the single-thread IPC for a benchmark, computing and
-// memoizing it on first use.
+// memoizing it on first use. Concurrent callers for the same benchmark
+// block until the one computation finishes.
 func (s *STCache) IPC(benchmark string) (float64, error) {
-	if v, ok := s.m[benchmark]; ok {
-		return v, nil
+	c, created := s.g.Entry(benchmark)
+	if created {
+		s.compute(benchmark, c)
 	}
-	res, err := RunSingle(s.cfg, benchmark)
-	if err != nil {
-		return 0, err
+	return c.Wait()
+}
+
+// Begin registers benchmark and returns the computation the caller must
+// run (on a worker of its choosing) if it is the first requester, or nil
+// when the reference is already computed or in flight. Worker pools use it
+// to avoid parking a pool slot on a run some other worker owns.
+func (s *STCache) Begin(benchmark string) func() {
+	c, created := s.g.Entry(benchmark)
+	if !created {
+		return nil
 	}
-	v := res.Threads[0].IPC
-	s.m[benchmark] = v
-	return v, nil
+	return func() { s.compute(benchmark, c) }
+}
+
+// Prewarm computes the reference runs for all benchmarks concurrently,
+// bounded by workers (<=0 selects GOMAXPROCS), and returns the first
+// error. Results are memoized, so subsequent IPC and STVector calls are
+// lookups. Duplicate names cost nothing: only first registrations occupy
+// a worker.
+func (s *STCache) Prewarm(benchmarks []string, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, b := range benchmarks {
+		fn := s.Begin(b)
+		if fn == nil {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn()
+		}()
+	}
+	wg.Wait()
+	for _, b := range benchmarks {
+		if _, err := s.IPC(b); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // STVector returns the IPC_ST vector for a workload.

@@ -11,11 +11,13 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/singleflight"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -34,6 +36,12 @@ type Options struct {
 	Seed uint64
 	// RegSizes is Figure 6's register file sweep.
 	RegSizes []int
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS). Every
+	// figure's independent workload×policy runs dispatch onto this pool;
+	// results are identical to sequential execution (each simulation is
+	// deterministic and reductions run in a fixed order), so Workers only
+	// changes wall-clock time.
+	Workers int
 }
 
 // Default returns the full-suite options.
@@ -81,12 +89,18 @@ type runKey struct {
 }
 
 // Session shares simulation results and single-thread references across
-// figures.
+// figures. Independent runs execute on a bounded worker pool
+// (Options.Workers); duplicate requests for one runKey share a single
+// execution, singleflight-style, so figures that overlap (1, 2 and 3 all
+// need the ICOUNT and RaT runs) still simulate each point exactly once.
+// Errors memoize like results: a run's outcome is a pure function of its
+// configuration, so retrying a failed key could never succeed.
 type Session struct {
 	opt   Options
 	base  core.Config
 	st    *core.STCache
-	cache map[runKey]*core.Result
+	sem   chan struct{} // worker pool slots
+	cache singleflight.Group[runKey, *core.Result]
 }
 
 // NewSession builds a session.
@@ -99,33 +113,89 @@ func NewSession(opt Options) *Session {
 		base.MaxCycles = opt.MaxCycles
 	}
 	base.Seed = opt.Seed
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	return &Session{
-		opt:   opt,
-		base:  base,
-		st:    core.NewSTCache(base),
-		cache: map[runKey]*core.Result{},
+		opt:  opt,
+		base: base,
+		st:   core.NewSTCache(base),
+		sem:  make(chan struct{}, workers),
 	}
 }
 
-// run executes (and caches) one workload under one policy, optionally with
-// an overridden physical register file size.
-func (s *Session) run(w workload.Workload, pol core.PolicyKind, regs int) (*core.Result, error) {
+// dispatch runs fn on the worker pool: the goroutine occupies a slot for
+// the duration of fn only.
+func (s *Session) dispatch(fn func()) {
+	go func() {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		fn()
+	}()
+}
+
+// start schedules (or joins) the simulation of one workload under one
+// policy, returning its call immediately. The simulation itself executes
+// on the worker pool; only the first requester of a key occupies a slot.
+func (s *Session) start(w workload.Workload, pol core.PolicyKind, regs int) *singleflight.Call[*core.Result] {
 	key := runKey{workload: w.Name(), policy: pol, regs: regs}
-	if r, ok := s.cache[key]; ok {
-		return r, nil
+	c, created := s.cache.Entry(key)
+	if !created {
+		return c
 	}
-	cfg := s.base
-	cfg.Policy = pol
-	if regs > 0 {
-		cfg.Pipeline.IntRegs = regs
-		cfg.Pipeline.FPRegs = regs
+	s.dispatch(func() {
+		cfg := s.base
+		cfg.Policy = pol
+		if regs > 0 {
+			cfg.Pipeline.IntRegs = regs
+			cfg.Pipeline.FPRegs = regs
+		}
+		r, err := core.Run(cfg, w)
+		if err != nil {
+			c.Fulfill(nil, fmt.Errorf("%s under %s: %w", w.Name(), pol, err))
+			return
+		}
+		c.Fulfill(r, nil)
+	})
+	return c
+}
+
+// run executes (and caches) one workload under one policy, optionally with
+// an overridden physical register file size, blocking for the result.
+func (s *Session) run(w workload.Workload, pol core.PolicyKind, regs int) (*core.Result, error) {
+	return s.start(w, pol, regs).Wait()
+}
+
+// prewarm dispatches every (workload, policy, regs) point a figure needs
+// onto the worker pool, plus the single-thread references when the figure
+// computes fairness. It returns without waiting: the figure's sequential
+// reduction then collects each result in a fixed order, which is what
+// keeps parallel output bit-identical to a Workers=1 session. Duplicate
+// points — within this figure or against previous figures — spawn
+// nothing, so every occupied pool slot is doing novel simulation work.
+func (s *Session) prewarm(pols []core.PolicyKind, regs []int, withST bool) {
+	if regs == nil {
+		regs = []int{0}
 	}
-	r, err := core.Run(cfg, w)
-	if err != nil {
-		return nil, fmt.Errorf("%s under %s: %w", w.Name(), pol, err)
+	for _, g := range s.opt.groups() {
+		for _, w := range s.opt.pick(g) {
+			for _, r := range regs {
+				for _, p := range pols {
+					s.start(w, p, r)
+				}
+			}
+			if !withST {
+				continue
+			}
+			for _, b := range w.Benchmarks {
+				if fn := s.st.Begin(b); fn != nil {
+					s.dispatch(fn)
+				}
+				// nil: computed or in flight; the reduction re-reads it.
+			}
+		}
 	}
-	s.cache[key] = r
-	return r, nil
 }
 
 // groupMetrics averages throughput and fairness over a group's workloads.
@@ -157,8 +227,10 @@ type PolicyFigure struct {
 	Fairness   map[string]map[core.PolicyKind]float64
 }
 
-// policyFigure runs the common Figure 1/2 machinery.
+// policyFigure runs the common Figure 1/2 machinery: dispatch every
+// needed simulation onto the worker pool, then reduce sequentially.
 func (s *Session) policyFigure(name string, pols []core.PolicyKind) (*PolicyFigure, error) {
+	s.prewarm(pols, nil, true)
 	f := &PolicyFigure{
 		Name:       name,
 		Policies:   pols,
@@ -239,6 +311,7 @@ type Fig3Result struct {
 func (s *Session) Fig3() (*Fig3Result, error) {
 	pols := []core.PolicyKind{core.PolicyICount, core.PolicySTALL, core.PolicyFLUSH,
 		core.PolicyDCRA, core.PolicyHillClimbing, core.PolicyRaT}
+	s.prewarm(pols, nil, false)
 	f := &Fig3Result{Groups: s.opt.groups(), Policies: pols, ED2: map[string]map[core.PolicyKind]float64{}}
 	for _, g := range f.Groups {
 		f.ED2[g] = map[core.PolicyKind]float64{}

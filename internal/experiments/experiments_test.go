@@ -62,12 +62,12 @@ func TestFig1ShapeAndCache(t *testing.T) {
 		}
 	}
 	// The session must cache: a second Fig1 reuses every run.
-	before := len(s.cache)
+	before := s.cache.Len()
 	if _, err := s.Fig1(); err != nil {
 		t.Fatal(err)
 	}
-	if len(s.cache) != before {
-		t.Fatalf("cache grew on repeat: %d -> %d", before, len(s.cache))
+	if s.cache.Len() != before {
+		t.Fatalf("cache grew on repeat: %d -> %d", before, s.cache.Len())
 	}
 }
 

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestParallelMatchesSequential asserts the harness's core determinism
+// contract: a session dispatching onto four workers produces figures (and
+// raw simulation Results) bit-identical to a one-worker session. Every
+// simulation is deterministic given its configuration, and reductions
+// always collect in a fixed order, so Workers must only change wall-clock
+// time.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	o := tinyOptions()
+	o.Groups = []string{"MEM2"}
+
+	oSeq := o
+	oSeq.Workers = 1
+	oPar := o
+	oPar.Workers = 4
+	seq, par := NewSession(oSeq), NewSession(oPar)
+
+	sf, err := seq.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := par.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sf, pf) {
+		t.Errorf("Fig1 diverges between Workers=1 and Workers=4:\nseq: %+v\npar: %+v", sf, pf)
+	}
+
+	// Fig5 reuses the cached ICOUNT/RaT runs plus the register occupancy
+	// channel of each Result — a second reduction over the same raw data.
+	sf5, err := seq.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf5, err := par.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sf5, pf5) {
+		t.Errorf("Fig5 diverges between Workers=1 and Workers=4:\nseq: %+v\npar: %+v", sf5, pf5)
+	}
+
+	// Compare one raw Result end to end (every counter, not just the
+	// figure-level aggregates).
+	w := o.pick("MEM2")[0]
+	sr, err := seq.run(w, core.PolicyRaT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := par.run(w, core.PolicyRaT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sr, pr) {
+		t.Errorf("raw Result diverges for %s:\nseq: %+v\npar: %+v", w.Name(), sr, pr)
+	}
+}
+
+// TestSessionSharesRunsAcrossConcurrentFigures checks the singleflight
+// property under concurrency: figures requested from multiple goroutines
+// still simulate each (workload, policy) point exactly once.
+func TestSessionSharesRunsAcrossConcurrentFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	o := tinyOptions()
+	o.Groups = []string{"MEM2"}
+	o.Workers = 4
+	s := NewSession(o)
+
+	errs := make(chan error, 2)
+	go func() { _, err := s.Fig1(); errs <- err }()
+	go func() { _, err := s.Fig3(); errs <- err }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fig1 needs ICOUNT/STALL/FLUSH/RaT; Fig3 adds DCRA and HillClimbing:
+	// 6 policies on 1 workload = 6 runs, shared, not 4+6.
+	if n := s.cache.Len(); n != 6 {
+		t.Errorf("cache holds %d entries, want 6 (runs not shared)", n)
+	}
+}

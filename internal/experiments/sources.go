@@ -32,6 +32,8 @@ type Fig4Result struct {
 
 // Fig4 reproduces Figure 4's three experiments.
 func (s *Session) Fig4() (*Fig4Result, error) {
+	s.prewarm([]core.PolicyKind{core.PolicyRaT, core.PolicyRaTNoPrefetch,
+		core.PolicyRaTNoFetch, core.PolicyICount}, nil, false)
 	f := &Fig4Result{
 		Groups:               s.opt.groups(),
 		Prefetching:          map[string]float64{},
@@ -113,6 +115,7 @@ type Fig5Result struct {
 
 // Fig5 reproduces Figure 5.
 func (s *Session) Fig5() (*Fig5Result, error) {
+	s.prewarm([]core.PolicyKind{core.PolicyICount, core.PolicyRaT}, nil, false)
 	f := &Fig5Result{Groups: s.opt.groups(), Normal: map[string]float64{}, Runahead: map[string]float64{}}
 	for _, g := range f.Groups {
 		var normal, ra []float64
@@ -161,6 +164,7 @@ type Fig6Result struct {
 // entries per file.
 func (s *Session) Fig6() (*Fig6Result, error) {
 	pols := []core.PolicyKind{core.PolicyFLUSH, core.PolicyRaT}
+	s.prewarm(pols, s.opt.RegSizes, false)
 	f := &Fig6Result{
 		Groups:     s.opt.groups(),
 		Sizes:      s.opt.RegSizes,

@@ -114,10 +114,11 @@ func (c *Cache) LineAddr(addr uint64) uint64 {
 	return addr &^ (c.cfg.LineBytes - 1)
 }
 
-// locate returns the set index and tag for addr.
+// locate returns the set index and tag for addr. The full line address
+// serves as the tag: simple and unambiguous.
 func (c *Cache) locate(addr uint64) (set uint64, tag uint64) {
 	l := addr >> c.lineShift
-	return l & c.setMask, l >> 0 // full line address as tag: simple and unambiguous
+	return l & c.setMask, l
 }
 
 // Lookup probes the cache without modifying replacement state. It returns

@@ -30,10 +30,10 @@ func (c *Core) commitThread(t *thread, now uint64, budget *int) {
 			// Fall through in normal mode next cycle (the pipe is empty).
 			return
 		}
-		if len(t.rob) == 0 {
+		if t.rob.len() == 0 {
 			return
 		}
-		head := t.rob[0]
+		head := t.rob.front()
 		if t.mode == ModeNormal {
 			if c.shouldEnterRunahead(t, head, now) {
 				c.enterRunahead(t, head, now)
@@ -63,19 +63,30 @@ func (c *Core) commitThread(t *thread, now uint64, budget *int) {
 	}
 }
 
-// retire removes the head instruction from the ROB and releases its
-// destination register. The rename table needs no update: a retired writer
-// reads as architectural state, or as poison when it pseudo-retired
-// invalid — §3.3's "when a physical register is invalid it can be freed
-// and used by the rest of the threads" falls out of the writer-state
-// resolution in mapGet.
+// retire removes the head instruction from the ROB, releases its
+// destination register, and recycles the instruction. A retired valid
+// writer reads as architectural state, so its rename-table entry (if
+// still current) clears to nil — the identical resolution — letting the
+// object return to the pool immediately. A pseudo-retired *invalid*
+// writer must keep resolving to poison through the table (§3.3's "when a
+// physical register is invalid it can be freed and used by the rest of
+// the threads" falls out of that resolution in mapGet), so it defers to
+// the episode-end reclamation in exitRunahead.
 func (c *Core) retire(t *thread, head *DynInst) {
 	head.retired = true
 	if head.dst >= 0 {
 		c.fileFor(head.tmpl.Dst).Release(head.dst)
 	}
-	t.rob = t.rob[1:]
+	t.rob.popFront()
 	c.robCount--
+	if head.inv {
+		t.deferredFree = append(t.deferredFree, head)
+		return
+	}
+	if head.tmpl.HasDst() && t.writers[head.tmpl.Dst] == head {
+		t.writers[head.tmpl.Dst] = nil
+	}
+	c.freeInst(head)
 }
 
 // shouldEnterRunahead applies the §3.1 trigger: a demand load that missed
@@ -94,7 +105,7 @@ func (c *Core) shouldEnterRunahead(t *thread, head *DynInst, now uint64) bool {
 	if now >= head.doneAt {
 		return false // resolves this cycle anyway
 	}
-	if t.raSuppress[head.seq] {
+	if t.raSuppress.has(head.seq) {
 		// Figure 4 methodology: loads invalidated during a no-prefetch
 		// episode must not re-trigger runahead after recovery.
 		return false
@@ -135,6 +146,11 @@ func (c *Core) exitRunahead(t *thread, now uint64) {
 		}
 	}
 	t.resetWriters() // checkpoint restore: all state architectural, poison gone
+	for i, di := range t.deferredFree {
+		c.freeInst(di)
+		t.deferredFree[i] = nil
+	}
+	t.deferredFree = t.deferredFree[:0]
 	if c.racache != nil {
 		c.racache.FlushThread(t.id)
 	}
@@ -149,10 +165,8 @@ func (c *Core) exitRunahead(t *thread, now uint64) {
 // window (youngest first, unwinding the rename map) and the front-end
 // queue.
 func (c *Core) squashThread(t *thread) {
-	for len(t.rob) > 0 {
-		di := t.rob[len(t.rob)-1]
-		c.unwind(t, di)
-		t.rob = t.rob[:len(t.rob)-1]
+	for t.rob.len() > 0 {
+		c.unwind(t, t.rob.popBack())
 		c.robCount--
 	}
 	c.dropFrontEnd(t)
@@ -164,14 +178,14 @@ func (c *Core) squashThread(t *thread) {
 // The caller (the policy) also blocks fetch until the miss resolves.
 func (c *Core) FlushAfter(ld *DynInst) {
 	t := c.threads[ld.tid]
-	for len(t.rob) > 0 {
-		di := t.rob[len(t.rob)-1]
+	for t.rob.len() > 0 {
+		di := t.rob.back()
 		if di == ld || di.id <= ld.id {
 			break
 		}
-		c.unwind(t, di)
-		t.rob = t.rob[:len(t.rob)-1]
+		t.rob.popBack()
 		c.robCount--
+		c.unwind(t, di)
 	}
 	c.dropFrontEnd(t)
 	t.cursor = ld.seq + 1
@@ -179,14 +193,19 @@ func (c *Core) FlushAfter(ld *DynInst) {
 	t.haveFetchLine = false
 }
 
-// dropFrontEnd discards the not-yet-renamed front-end queue.
+// dropFrontEnd discards the not-yet-renamed front-end queue. Front-end
+// instructions were never renamed or scheduled, so nothing else can
+// reference them and they recycle immediately. Callers that may leave a
+// blockingBranch in the queue clear that pointer themselves.
 func (c *Core) dropFrontEnd(t *thread) {
-	for _, di := range t.fq {
+	for i := 0; i < t.fq.len(); i++ {
+		di := t.fq.at(i)
 		di.squashed = true
 		t.icount--
 		t.stats.Squashed.Inc()
+		c.freeInst(di)
 	}
-	t.fq = t.fq[:0]
+	t.fq.clear()
 }
 
 // unwind squashes one renamed, in-flight instruction: references drop,
@@ -202,7 +221,14 @@ func (c *Core) unwind(t *thread, di *DynInst) {
 		// Youngest-first iteration guarantees di is the current table
 		// entry; restoring its predecessor reconstructs the pre-rename
 		// state exactly (a retired predecessor reads as architectural).
-		t.writers[di.tmpl.Dst] = di.prevWriter
+		// A predecessor returned to the pool (or already recycled — the
+		// id changed) had retired valid, which also reads as
+		// architectural: restore nil, never a pooled object.
+		w := di.prevWriter
+		if w != nil && (w.pooled || w.id != di.prevWriterID) {
+			w = nil
+		}
+		t.writers[di.tmpl.Dst] = w
 	}
 	if di.dst >= 0 {
 		c.fileFor(di.tmpl.Dst).Release(di.dst)
@@ -216,6 +242,10 @@ func (c *Core) unwind(t *thread, di *DynInst) {
 		t.blockingBranch = nil
 	}
 	t.stats.Squashed.Inc()
+	// Any remaining references (lazily-compacted issue-queue entries this
+	// cycle, wheel and detection events) are filtered by the squashed flag
+	// or by id validation; the object itself can recycle now.
+	c.freeInst(di)
 }
 
 // CheckInvariants validates cross-structure consistency; the paranoid mode
@@ -229,9 +259,9 @@ func (c *Core) CheckInvariants() error {
 	}
 	robTotal := 0
 	for _, t := range c.threads {
-		robTotal += len(t.rob)
+		robTotal += t.rob.len()
 		// icount must equal fq + unissued/unfolded queue entries.
-		want := len(t.fq)
+		want := t.fq.len()
 		for _, q := range c.iqs[1:] {
 			for _, di := range q.entries {
 				if di.tid == t.id && !di.issued && !di.folded && !di.squashed {

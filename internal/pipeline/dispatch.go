@@ -17,8 +17,8 @@ func (c *Core) dispatchStage(now uint64) {
 	budget := c.cfg.Width
 	for k := 0; k < n && budget > 0; k++ {
 		t := c.threads[(int(now)+k)%n]
-		for budget > 0 && len(t.fq) > 0 {
-			di := t.fq[0]
+		for budget > 0 && t.fq.len() > 0 {
+			di := t.fq.front()
 			if di.fetchReadyAt > now {
 				break
 			}
@@ -31,7 +31,7 @@ func (c *Core) dispatchStage(now uint64) {
 			if !c.tryDispatch(t, di, now) {
 				break
 			}
-			t.fq = t.fq[1:]
+			t.fq.popFront()
 			budget--
 		}
 	}
@@ -90,6 +90,9 @@ func (c *Core) tryDispatch(t *thread, di *DynInst, now uint64) bool {
 	}
 	if di.tmpl.HasDst() {
 		di.prevWriter = t.writers[di.tmpl.Dst]
+		if di.prevWriter != nil {
+			di.prevWriterID = di.prevWriter.id
+		}
 		t.writers[di.tmpl.Dst] = di
 	}
 
@@ -98,7 +101,7 @@ func (c *Core) tryDispatch(t *thread, di *DynInst, now uint64) bool {
 	q.entries = append(q.entries, di)
 	q.count++
 	t.iqHeld[kind]++
-	t.rob = append(t.rob, di)
+	t.rob.pushBack(di)
 	c.robCount++
 	return true
 }
@@ -136,6 +139,9 @@ func (c *Core) foldAtDispatch(t *thread, di *DynInst, inv bool) {
 	if di.tmpl.HasDst() {
 		di.dst = regfile.Invalid
 		di.prevWriter = t.writers[di.tmpl.Dst]
+		if di.prevWriter != nil {
+			di.prevWriterID = di.prevWriter.id
+		}
 		t.writers[di.tmpl.Dst] = di
 	}
 	di.folded = true
@@ -144,7 +150,7 @@ func (c *Core) foldAtDispatch(t *thread, di *DynInst, inv bool) {
 	di.iq = IQNone
 	di.dispatched = true
 	di.refsReleased = true // no references were ever taken
-	t.rob = append(t.rob, di)
+	t.rob.pushBack(di)
 	c.robCount++
 	t.icount-- // leaves the fetch-to-issue population immediately
 	t.stats.Runahead.Folded.Inc()

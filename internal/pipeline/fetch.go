@@ -38,7 +38,7 @@ func (c *Core) canFetch(t *thread, now uint64) bool {
 	if t.fetchBlockedUntil > now || t.blockingBranch != nil {
 		return false
 	}
-	if len(t.fq) >= c.cfg.FetchQueue {
+	if t.fq.len() >= c.cfg.FetchQueue {
 		return false
 	}
 	if t.mode == ModeRunahead && !c.cfg.Runahead.FetchInRunahead {
@@ -51,7 +51,7 @@ func (c *Core) canFetch(t *thread, now uint64) bool {
 // number fetched.
 func (c *Core) fetchFrom(t *thread, now uint64, slots int) int {
 	n := 0
-	for n < slots && len(t.fq) < c.cfg.FetchQueue {
+	for n < slots && t.fq.len() < c.cfg.FetchQueue {
 		tmpl := t.tr.At(t.cursor)
 		line := tmpl.PC &^ (c.cfg.Mem.IL1.LineBytes - 1)
 		if !t.haveFetchLine || line != t.lastFetchLine {
@@ -68,22 +68,19 @@ func (c *Core) fetchFrom(t *thread, now uint64, slots int) int {
 			t.lastFetchLine, t.haveFetchLine = line, true
 		}
 
-		di := &DynInst{
-			id:           c.nextID,
-			tid:          t.id,
-			seq:          t.cursor,
-			tmpl:         tmpl,
-			dst:          regfile.None,
-			src1:         regfile.None,
-			src2:         regfile.None,
-			fetchReadyAt: now + c.cfg.FrontEndDepth,
-			runahead:     t.mode == ModeRunahead,
-		}
-		c.nextID++
+		di := c.allocInst()
+		di.tid = t.id
+		di.seq = t.cursor
+		di.tmpl = tmpl
+		di.dst = regfile.None
+		di.src1 = regfile.None
+		di.src2 = regfile.None
+		di.fetchReadyAt = now + c.cfg.FrontEndDepth
+		di.runahead = t.mode == ModeRunahead
 		if tmpl.Op.IsMem() {
 			di.addr = t.tr.AddrAt(t.cursor)
 		}
-		t.fq = append(t.fq, di)
+		t.fq.pushBack(di)
 		t.icount++
 		t.cursor++
 		t.stats.Fetched.Inc()

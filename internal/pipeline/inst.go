@@ -61,6 +61,11 @@ type DynInst struct {
 	// register avoids the dangling-register rollback hazard when the
 	// previous writer retires before the squash.
 	prevWriter *DynInst
+	// prevWriterID snapshots prevWriter's id at rename time. The free-list
+	// pool may recycle a retired previous writer while this instruction is
+	// still in flight; an id mismatch (or the pooled flag) at rollback
+	// means the original retired, which reads as architectural state.
+	prevWriterID uint64
 	// iq is the queue the instruction was dispatched to (IQNone if folded).
 	iq IQKind
 
@@ -85,6 +90,7 @@ type DynInst struct {
 	mispredicted bool // fetch-time direction guess disagreed with the trace
 	isL2Miss     bool // demand load served by main memory
 	retired      bool // left the ROB via commit or pseudo-retire
+	pooled       bool // sitting in the core's free list (recycling guard)
 }
 
 // ID returns the global age identifier.

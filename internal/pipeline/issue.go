@@ -196,7 +196,7 @@ func (c *Core) executeLoad(t *thread, di *DynInst, now uint64) (ok bool, done ui
 			di.doneAt = res.DoneAt // published early for the detection path
 			di.missDetectAt = now + c.cfg.Mem.DL1.Latency + c.cfg.Mem.L2.Latency
 			t.stats.L2MissLoads.Inc()
-			c.pendingDetect = append(c.pendingDetect, di)
+			c.pendingDetect = append(c.pendingDetect, wheelRef{di, di.id})
 		}
 		return true, res.DoneAt
 	}
@@ -224,7 +224,7 @@ func (c *Core) executeLoad(t *thread, di *DynInst, now uint64) (ok bool, done ui
 			return true, now + c.cfg.Mem.DL1.Latency
 		}
 		di.inv = true
-		t.raSuppress[di.seq] = true
+		t.raSuppress.add(di.seq)
 		t.stats.Runahead.InvalidLoads.Inc()
 		return true, now + 1
 	}
@@ -274,7 +274,7 @@ func (c *Core) schedule(di *DynInst, now, done uint64) {
 	}
 	di.doneAt = done
 	slot := done % wheelSize
-	c.wheel[slot] = append(c.wheel[slot], di)
+	c.wheel[slot] = append(c.wheel[slot], wheelRef{di, di.id})
 }
 
 // detectMisses fires the L2-miss detections due this cycle: the paper's
@@ -287,12 +287,13 @@ func (c *Core) detectMisses(now uint64) {
 		return
 	}
 	kept := c.pendingDetect[:0]
-	for _, di := range c.pendingDetect {
-		if di.squashed || now >= di.doneAt {
+	for _, ref := range c.pendingDetect {
+		di := ref.di
+		if !ref.live() || di.squashed || now >= di.doneAt {
 			continue
 		}
 		if now < di.missDetectAt {
-			kept = append(kept, di)
+			kept = append(kept, ref)
 			continue
 		}
 		t := c.threads[di.tid]
@@ -306,8 +307,9 @@ func (c *Core) detectMisses(now uint64) {
 // become ready, dependents can wake next scan, and branches resolve.
 func (c *Core) completeStage(now uint64) {
 	slot := now % wheelSize
-	for _, di := range c.wheel[slot] {
-		if di.squashed || di.completed {
+	for _, ref := range c.wheel[slot] {
+		di := ref.di
+		if !ref.live() || di.squashed || di.completed {
 			continue
 		}
 		di.completed = true

@@ -55,6 +55,20 @@ type issueQueue struct {
 	entries []*DynInst // age (dispatch) order
 }
 
+// wheelRef is a validated reference to an in-flight instruction held by
+// the completion wheel or the miss-detection list. Both structures can
+// outlive the instruction (it may squash and be recycled first); the id
+// snapshot detects reuse, so stale events are dropped instead of firing
+// against an unrelated recycled instruction.
+type wheelRef struct {
+	di *DynInst
+	id uint64
+}
+
+// live reports whether the reference still names the instruction it was
+// taken on.
+func (r wheelRef) live() bool { return r.di.id == r.id }
+
 // Core is the SMT processor.
 type Core struct {
 	cfg     Config
@@ -68,11 +82,14 @@ type Core struct {
 	iqs    [4]*issueQueue // indexed by IQKind; IQNone unused
 	fuBusy [4][]uint64    // per-class unit busy-until cycles
 
-	wheel         [wheelSize][]*DynInst
-	pendingDetect []*DynInst // L2 misses awaiting detection
+	wheel         [wheelSize][]wheelRef
+	pendingDetect []wheelRef // L2 misses awaiting detection
 	cycle         uint64
 	nextID        uint64
 	robCount      int
+
+	// freeInsts is the DynInst recycling pool; see pool.go.
+	freeInsts []*DynInst
 
 	orderBuf []int
 	// paranoid enables per-cycle invariant checking (tests).
@@ -101,22 +118,24 @@ func New(cfg Config, traces []*trace.Trace, pol Policy) (*Core, error) {
 		fpRF:   regfile.New("fp", cfg.FPRegs),
 		policy: pol,
 	}
-	c.iqs[IQInt] = &issueQueue{kind: IQInt, cap: cfg.IntIQ}
-	c.iqs[IQFP] = &issueQueue{kind: IQFP, cap: cfg.FPIQ}
-	c.iqs[IQLS] = &issueQueue{kind: IQLS, cap: cfg.LSIQ}
+	c.iqs[IQInt] = &issueQueue{kind: IQInt, cap: cfg.IntIQ, entries: make([]*DynInst, 0, cfg.IntIQ)}
+	c.iqs[IQFP] = &issueQueue{kind: IQFP, cap: cfg.FPIQ, entries: make([]*DynInst, 0, cfg.FPIQ)}
+	c.iqs[IQLS] = &issueQueue{kind: IQLS, cap: cfg.LSIQ, entries: make([]*DynInst, 0, cfg.LSIQ)}
 	c.fuBusy[IQInt] = make([]uint64, cfg.IntFU)
 	c.fuBusy[IQFP] = make([]uint64, cfg.FPFU)
 	c.fuBusy[IQLS] = make([]uint64, cfg.LSFU)
+	c.orderBuf = make([]int, 0, len(traces))
 	if cfg.Runahead.UseRunaheadCache {
 		c.racache = runahead.NewCache(cfg.RunaheadCacheEntries)
 	}
 	preds := bpred.NewPerceptronShared(cfg.BranchPredRows, len(traces))
 	for i, tr := range traces {
 		c.threads = append(c.threads, &thread{
-			id:         i,
-			tr:         tr,
-			bp:         preds[i],
-			raSuppress: map[uint64]bool{},
+			id:  i,
+			tr:  tr,
+			bp:  preds[i],
+			fq:  newInstRing(cfg.FetchQueue),
+			rob: newInstRing(cfg.ROBSize),
 		})
 	}
 	return c, nil
@@ -240,7 +259,7 @@ func (c *Core) InRunahead(tid int) bool {
 }
 
 // ROBOccupancy returns the number of ROB entries held by tid.
-func (c *Core) ROBOccupancy(tid int) int { return len(c.threads[tid].rob) }
+func (c *Core) ROBOccupancy(tid int) int { return c.threads[tid].rob.len() }
 
 // ROBUsed returns the total occupied ROB entries.
 func (c *Core) ROBUsed() int { return c.robCount }

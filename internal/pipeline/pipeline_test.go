@@ -330,9 +330,9 @@ func TestFlushAfterReleasesResources(t *testing.T) {
 	for i := 0; i < 5000 && ld == nil; i++ {
 		c.Step()
 		th := c.threads[0]
-		if len(th.rob) > 50 {
-			for _, di := range th.rob {
-				if di.isL2Miss && !di.completed {
+		if th.rob.len() > 50 {
+			for j := 0; j < th.rob.len(); j++ {
+				if di := th.rob.at(j); di.isL2Miss && !di.completed {
 					ld = di
 					break
 				}

@@ -1,0 +1,194 @@
+package pipeline
+
+// This file holds the allocation-free steady-state machinery of the hot
+// loop: the per-core DynInst free list, the ring buffers backing the
+// front-end and ROB windows, and the open-addressing sequence set that
+// replaces the per-thread suppression map. All three reach a fixed
+// footprint after warmup, after which Step performs no heap allocation.
+
+// allocInst returns a zeroed DynInst from the core's free list (or the
+// heap when the list is empty), stamped with a fresh global id. Because
+// every reuse changes the id, stale references held by the completion
+// wheel or the miss-detection list are recognized and dropped by id
+// comparison instead of by lifetime bookkeeping.
+func (c *Core) allocInst() *DynInst {
+	var di *DynInst
+	if n := len(c.freeInsts); n > 0 {
+		di = c.freeInsts[n-1]
+		c.freeInsts[n-1] = nil
+		c.freeInsts = c.freeInsts[:n-1]
+		*di = DynInst{}
+	} else {
+		di = &DynInst{}
+	}
+	di.id = c.nextID
+	c.nextID++
+	return di
+}
+
+// freeInst recycles an instruction that has left the machine (retired with
+// no live rename-table reference, squashed, or dropped from the front
+// end). The object's terminal flags are deliberately left set until
+// reallocation: lazily-compacted structures (issue-queue entries) may
+// still observe it this cycle and must keep seeing squashed/issued/folded.
+//
+// Freeing is only legal once the instruction can no longer be resolved
+// through a thread's rename table; retire and exitRunahead enforce that.
+func (c *Core) freeInst(di *DynInst) {
+	if di.pooled {
+		return
+	}
+	di.pooled = true
+	c.freeInsts = append(c.freeInsts, di)
+}
+
+// instRing is a growable power-of-two ring buffer of instructions. The
+// front-end queue and per-thread ROB windows use it so that steady-state
+// push/pop cycles touch no allocator (a plain slice advanced with s[1:]
+// leaks capacity and reallocates forever).
+type instRing struct {
+	buf  []*DynInst
+	head int
+	n    int
+}
+
+// newInstRing returns a ring with capacity for at least capHint entries.
+func newInstRing(capHint int) instRing {
+	cp := 8
+	for cp < capHint {
+		cp <<= 1
+	}
+	return instRing{buf: make([]*DynInst, cp)}
+}
+
+// len returns the number of buffered instructions.
+func (r *instRing) len() int { return r.n }
+
+// at returns the i-th instruction in queue order (0 = oldest).
+func (r *instRing) at(i int) *DynInst {
+	return r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+// front returns the oldest instruction.
+func (r *instRing) front() *DynInst { return r.buf[r.head] }
+
+// back returns the youngest instruction.
+func (r *instRing) back() *DynInst { return r.at(r.n - 1) }
+
+// pushBack appends an instruction, growing the ring if full.
+func (r *instRing) pushBack(di *DynInst) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = di
+	r.n++
+}
+
+// popFront removes and returns the oldest instruction.
+func (r *instRing) popFront() *DynInst {
+	di := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return di
+}
+
+// popBack removes and returns the youngest instruction.
+func (r *instRing) popBack() *DynInst {
+	i := (r.head + r.n - 1) & (len(r.buf) - 1)
+	di := r.buf[i]
+	r.buf[i] = nil
+	r.n--
+	return di
+}
+
+// clear drops every entry (the callers free the instructions themselves).
+func (r *instRing) clear() {
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)&(len(r.buf)-1)] = nil
+	}
+	r.head, r.n = 0, 0
+}
+
+// grow doubles the ring, unrolling the wrapped region.
+func (r *instRing) grow() {
+	nb := make([]*DynInst, len(r.buf)*2)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+// seqSet is an insert-only open-addressing set of sequence numbers with
+// linear probing. It replaces the per-thread map[uint64]bool suppression
+// table: membership tests in the commit stage become a probe over a flat
+// array, and runs that never insert (every configuration except the
+// no-prefetch ablation) never allocate the backing storage at all.
+type seqSet struct {
+	// slots stores key+1 so the zero value means empty (seq 0 is legal).
+	slots []uint64
+	n     int
+}
+
+// add inserts k (idempotent). The table doubles at 50% load, so probes
+// stay short and semantics match the map it replaced exactly.
+func (s *seqSet) add(k uint64) {
+	if s.slots == nil {
+		s.slots = make([]uint64, 64)
+	} else if 2*(s.n+1) > len(s.slots) {
+		old := s.slots
+		s.slots = make([]uint64, 2*len(old))
+		s.n = 0
+		for _, v := range old {
+			if v != 0 {
+				s.insert(v - 1)
+			}
+		}
+	}
+	s.insert(k)
+}
+
+// insert places k assuming free space exists.
+func (s *seqSet) insert(k uint64) {
+	mask := uint64(len(s.slots) - 1)
+	i := hashSeq(k) & mask
+	for {
+		switch s.slots[i] {
+		case 0:
+			s.slots[i] = k + 1
+			s.n++
+			return
+		case k + 1:
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// has reports membership.
+func (s *seqSet) has(k uint64) bool {
+	if s.slots == nil {
+		return false
+	}
+	mask := uint64(len(s.slots) - 1)
+	i := hashSeq(k) & mask
+	for {
+		switch s.slots[i] {
+		case 0:
+			return false
+		case k + 1:
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// hashSeq mixes a sequence number (sequences are near-consecutive, so
+// identity hashing would cluster into one probe run).
+func hashSeq(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	return k
+}

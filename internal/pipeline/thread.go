@@ -63,9 +63,9 @@ type thread struct {
 	cursor uint64
 
 	// fq is the front-end queue: fetched, not yet renamed.
-	fq []*DynInst
-	// rob is the thread's program-order window slice of the shared ROB.
-	rob []*DynInst
+	fq instRing
+	// rob is the thread's program-order window of the shared ROB.
+	rob instRing
 
 	// writers is the rename table: the latest writer of each architectural
 	// register. The physical mapping derives from the writer's state (see
@@ -99,7 +99,11 @@ type thread struct {
 	// raSuppress records (by thread-local seq) loads that were invalidated
 	// during a no-prefetch runahead episode; they must not re-trigger
 	// runahead after recovery (Figure 4 methodology).
-	raSuppress map[uint64]bool
+	raSuppress seqSet
+	// deferredFree holds pseudo-retired invalid instructions: the rename
+	// table keeps resolving them to poison until the episode ends, so they
+	// recycle at exitRunahead (after the checkpoint restore), not at retire.
+	deferredFree []*DynInst
 
 	stats ThreadStats
 }

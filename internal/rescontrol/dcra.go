@@ -50,32 +50,36 @@ func (d *DCRA) weights(c *pipeline.Core) (w [8]int, total int) {
 	return w, total
 }
 
+// share returns a thread's allowance of a capacity-limited resource given
+// its weight, floored so no thread starves below a minimal allocation.
+func share(capacity, weight, total int) int {
+	s := capacity * weight / total
+	if s < 4 {
+		s = 4
+	}
+	return s
+}
+
 // CanDispatch implements pipeline.Policy: a thread may dispatch while its
 // usage of every capped resource (physical registers and issue queue
 // entries) stays within its weighted share.
 func (d *DCRA) CanDispatch(c *pipeline.Core, tid int) bool {
 	w, total := d.weights(c)
 	cfg := c.Config()
-	share := func(capacity int) int {
-		s := capacity * w[tid] / total
-		if s < 4 {
-			s = 4 // floor: no thread starves below a minimal allocation
-		}
-		return s
-	}
-	if c.IntRegsHeld(tid) >= share(cfg.IntRegs) {
+	wt := w[tid]
+	if c.IntRegsHeld(tid) >= share(cfg.IntRegs, wt, total) {
 		return false
 	}
-	if c.FPRegsHeld(tid) >= share(cfg.FPRegs) {
+	if c.FPRegsHeld(tid) >= share(cfg.FPRegs, wt, total) {
 		return false
 	}
-	if c.IQHeld(tid, pipeline.IQInt) >= share(cfg.IntIQ) {
+	if c.IQHeld(tid, pipeline.IQInt) >= share(cfg.IntIQ, wt, total) {
 		return false
 	}
-	if c.IQHeld(tid, pipeline.IQFP) >= share(cfg.FPIQ) {
+	if c.IQHeld(tid, pipeline.IQFP) >= share(cfg.FPIQ, wt, total) {
 		return false
 	}
-	if c.IQHeld(tid, pipeline.IQLS) >= share(cfg.LSIQ) {
+	if c.IQHeld(tid, pipeline.IQLS) >= share(cfg.LSIQ, wt, total) {
 		return false
 	}
 	return true

@@ -83,32 +83,35 @@ func (h *HillClimbing) effectiveShare(c *pipeline.Core, tid int) float64 {
 func (h *HillClimbing) CanDispatch(c *pipeline.Core, tid int) bool {
 	s := h.effectiveShare(c, tid)
 	cfg := c.Config()
-	lim := func(capacity int) int {
-		l := int(s * float64(capacity))
-		if l < 8 {
-			l = 8
-		}
-		return l
-	}
-	if c.ROBOccupancy(tid) >= lim(cfg.ROBSize) {
+	if c.ROBOccupancy(tid) >= lim(s, cfg.ROBSize) {
 		return false
 	}
-	if c.IntRegsHeld(tid) >= lim(cfg.IntRegs) {
+	if c.IntRegsHeld(tid) >= lim(s, cfg.IntRegs) {
 		return false
 	}
-	if c.FPRegsHeld(tid) >= lim(cfg.FPRegs) {
+	if c.FPRegsHeld(tid) >= lim(s, cfg.FPRegs) {
 		return false
 	}
-	if c.IQHeld(tid, pipeline.IQInt) >= lim(cfg.IntIQ) {
+	if c.IQHeld(tid, pipeline.IQInt) >= lim(s, cfg.IntIQ) {
 		return false
 	}
-	if c.IQHeld(tid, pipeline.IQFP) >= lim(cfg.FPIQ) {
+	if c.IQHeld(tid, pipeline.IQFP) >= lim(s, cfg.FPIQ) {
 		return false
 	}
-	if c.IQHeld(tid, pipeline.IQLS) >= lim(cfg.LSIQ) {
+	if c.IQHeld(tid, pipeline.IQLS) >= lim(s, cfg.LSIQ) {
 		return false
 	}
 	return true
+}
+
+// lim converts a fractional share into an entry allowance, floored at 8
+// so a trial never starves a thread outright.
+func lim(share float64, capacity int) int {
+	l := int(share * float64(capacity))
+	if l < 8 {
+		l = 8
+	}
+	return l
 }
 
 // OnL2Miss implements pipeline.Policy.

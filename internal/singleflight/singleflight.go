@@ -1,0 +1,59 @@
+// Package singleflight provides duplicate-suppressed, memoizing call
+// coordination: the first requester of a key computes its value, every
+// other requester joins that computation's result. Unlike the classic
+// singleflight, results are retained — the group doubles as a cache —
+// which is exactly what the experiment harness needs (a simulation is
+// deterministic, so its first result is its only result).
+package singleflight
+
+import "sync"
+
+// Call is one key's in-flight or completed computation.
+type Call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Fulfill publishes the result, waking all waiters. The creator of the
+// call (the Entry caller that saw created=true) must call it exactly once.
+func (c *Call[V]) Fulfill(v V, err error) {
+	c.val, c.err = v, err
+	close(c.done)
+}
+
+// Wait blocks until Fulfill and returns the published result.
+func (c *Call[V]) Wait() (V, error) {
+	<-c.done
+	return c.val, c.err
+}
+
+// Group coordinates calls keyed by K. The zero value is ready to use.
+type Group[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*Call[V]
+}
+
+// Entry returns key's call, creating it if absent. created reports
+// whether this caller registered the call and therefore owns computing
+// and Fulfilling it; all other callers just Wait.
+func (g *Group[K, V]) Entry(key K) (c *Call[V], created bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = map[K]*Call[V]{}
+	}
+	if c, ok := g.m[key]; ok {
+		return c, false
+	}
+	c = &Call[V]{done: make(chan struct{})}
+	g.m[key] = c
+	return c, true
+}
+
+// Len returns the number of registered keys (in flight or completed).
+func (g *Group[K, V]) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

@@ -1,0 +1,53 @@
+package singleflight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSingleComputationManyWaiters(t *testing.T) {
+	var g Group[string, int]
+	var computed atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, created := g.Entry("k")
+			if created {
+				computed.Add(1)
+				c.Fulfill(42, nil)
+			}
+			v, err := c.Wait()
+			if v != 42 || err != nil {
+				t.Errorf("Wait = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computed.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestErrorsMemoized(t *testing.T) {
+	var g Group[int, string]
+	boom := errors.New("boom")
+	c, created := g.Entry(7)
+	if !created {
+		t.Fatal("first Entry not created")
+	}
+	c.Fulfill("", boom)
+	c2, created := g.Entry(7)
+	if created {
+		t.Fatal("second Entry re-created")
+	}
+	if _, err := c2.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

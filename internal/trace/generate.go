@@ -158,8 +158,8 @@ type generator struct {
 
 	// recentInt/recentFP hold the destination registers of the most recent
 	// producer instructions, most recent first.
-	recentInt []isa.Reg
-	recentFP  []isa.Reg
+	recentInt regWindow
+	recentFP  regWindow
 
 	// lastLoadDst is the destination of the most recent integer load and
 	// its age in producers, for pointer-chase dependences.
@@ -185,6 +185,35 @@ const (
 	// used as a pointer-chase base address.
 	chaseMaxAge = 20
 )
+
+// regWindow is a fixed ring over the last maxDepDistance producer
+// destinations, most recent first. (A slice re-built per producer with
+// append([]isa.Reg{r}, ...) dominated whole-run allocation profiles.)
+type regWindow struct {
+	buf  [maxDepDistance]isa.Reg
+	head int // index of the most recent entry
+	n    int
+}
+
+// push records a new most-recent producer destination.
+func (w *regWindow) push(r isa.Reg) {
+	w.head--
+	if w.head < 0 {
+		w.head = maxDepDistance - 1
+	}
+	w.buf[w.head] = r
+	if w.n < maxDepDistance {
+		w.n++
+	}
+}
+
+// at returns the d-th most recent destination (0 = newest; d < len()).
+func (w *regWindow) at(d int) isa.Reg {
+	return w.buf[(w.head+d)%maxDepDistance]
+}
+
+// len returns the number of recorded destinations.
+func (w *regWindow) len() int { return w.n }
 
 // Generate builds a deterministic synthetic trace for profile p.
 func Generate(p Profile, opt Options) *Trace {
@@ -318,32 +347,32 @@ func (g *generator) pickOp() isa.Op {
 // intSource picks an integer source register at a geometric dependence
 // distance, or a far (always ready) register.
 func (g *generator) intSource() isa.Reg {
-	if g.deps.Bool(g.p.FarFrac) || len(g.recentInt) == 0 {
+	if g.deps.Bool(g.p.FarFrac) || g.recentInt.len() == 0 {
 		return isa.IntReg(28 + g.deps.Intn(4))
 	}
 	d := g.deps.Geometric(g.p.DepP)
-	if d >= len(g.recentInt) {
-		d = len(g.recentInt) - 1
+	if d >= g.recentInt.len() {
+		d = g.recentInt.len() - 1
 	}
 	if d >= maxDepDistance {
 		d = maxDepDistance - 1
 	}
-	return g.recentInt[d]
+	return g.recentInt.at(d)
 }
 
 // fpSource picks a floating-point source register.
 func (g *generator) fpSource() isa.Reg {
-	if g.deps.Bool(g.p.FarFrac) || len(g.recentFP) == 0 {
+	if g.deps.Bool(g.p.FarFrac) || g.recentFP.len() == 0 {
 		return isa.FPReg(28 + g.deps.Intn(4))
 	}
 	d := g.deps.Geometric(g.p.DepP)
-	if d >= len(g.recentFP) {
-		d = len(g.recentFP) - 1
+	if d >= g.recentFP.len() {
+		d = g.recentFP.len() - 1
 	}
 	if d >= maxDepDistance {
 		d = maxDepDistance - 1
 	}
-	return g.recentFP[d]
+	return g.recentFP.at(d)
 }
 
 // pushIntDst records an integer producer and returns its destination.
@@ -353,10 +382,7 @@ func (g *generator) pushIntDst() isa.Reg {
 	if g.nextIntDst > intDstHi {
 		g.nextIntDst = intDstLo
 	}
-	g.recentInt = append([]isa.Reg{r}, g.recentInt...)
-	if len(g.recentInt) > maxDepDistance {
-		g.recentInt = g.recentInt[:maxDepDistance]
-	}
+	g.recentInt.push(r)
 	return r
 }
 
@@ -367,10 +393,7 @@ func (g *generator) pushFPDst() isa.Reg {
 	if g.nextFPDst > fpDstHi {
 		g.nextFPDst = fpDstLo
 	}
-	g.recentFP = append([]isa.Reg{r}, g.recentFP...)
-	if len(g.recentFP) > maxDepDistance {
-		g.recentFP = g.recentFP[:maxDepDistance]
-	}
+	g.recentFP.push(r)
 	return r
 }
 
@@ -426,7 +449,7 @@ func (g *generator) emitLoad(in *isa.Inst) {
 // poisoned, which is exactly why streaming codes prefetch well under
 // runahead while pointer chasers (ChaseFrac) do not.
 func (g *generator) inductionSource() isa.Reg {
-	if g.deps.Bool(0.85) || len(g.recentInt) == 0 {
+	if g.deps.Bool(0.85) || g.recentInt.len() == 0 {
 		return isa.IntReg(28 + g.deps.Intn(4))
 	}
 	return g.intSource()
