@@ -24,11 +24,21 @@ func benchOptions() experiments.Options {
 	return o
 }
 
+// benchSession builds a session or fails the benchmark.
+func benchSession(b *testing.B, o experiments.Options) *experiments.Session {
+	b.Helper()
+	s, err := experiments.NewSession(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
 // BenchmarkTable1_BaselineMachine measures the simulator itself: cycles
 // per second stepping the Table 1 machine on a representative MEM2
 // workload under the baseline policy.
 func BenchmarkTable1_BaselineMachine(b *testing.B) {
-	w := workload.ByGroup("MEM2")[1]
+	w := workload.MustByGroup("MEM2")[1]
 	cfg := core.DefaultConfig()
 	cfg.TraceLen = 6_000
 	cfg.Policy = core.PolicyICount
@@ -45,10 +55,10 @@ func BenchmarkTable1_BaselineMachine(b *testing.B) {
 // build-up, ring/wheel growth), so what follows measures the steady state.
 func steadyStateCore(tb testing.TB) *pipeline.Core {
 	tb.Helper()
-	w := workload.ByGroup("MEM2")[1]
+	w := workload.MustByGroup("MEM2")[1]
 	cfg := pipeline.DefaultConfig()
 	cfg.Runahead = runahead.Default()
-	c, err := pipeline.New(cfg, w.Traces(6_000, 1), nil)
+	c, err := pipeline.New(cfg, w.MustTraces(6_000, 1), nil)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -96,7 +106,7 @@ func BenchmarkTable2_WorkloadGeneration(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, w := range workload.All() {
-			w.Traces(2_000, uint64(i+1))
+			w.MustTraces(2_000, uint64(i+1))
 		}
 	}
 }
@@ -106,7 +116,7 @@ func BenchmarkTable2_WorkloadGeneration(b *testing.B) {
 // the paper's "+83%" headline.
 func BenchmarkFig1_FetchPolicies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s := experiments.NewSession(benchOptions())
+		s := benchSession(b, benchOptions())
 		f, err := s.Fig1()
 		if err != nil {
 			b.Fatal(err)
@@ -120,7 +130,7 @@ func BenchmarkFig1_FetchPolicies(b *testing.B) {
 // HillClimbing, RaT) and reports RaT's MEM2 margin over DCRA.
 func BenchmarkFig2_ResourcePolicies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s := experiments.NewSession(benchOptions())
+		s := benchSession(b, benchOptions())
 		f, err := s.Fig2()
 		if err != nil {
 			b.Fatal(err)
@@ -134,7 +144,7 @@ func BenchmarkFig2_ResourcePolicies(b *testing.B) {
 // normalized to ICOUNT (the paper: ~0.6 for 2-thread, ~0.78 for 4-thread).
 func BenchmarkFig3_EnergyDelay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s := experiments.NewSession(benchOptions())
+		s := benchSession(b, benchOptions())
 		f, err := s.Fig3()
 		if err != nil {
 			b.Fatal(err)
@@ -150,7 +160,7 @@ func BenchmarkFig4_SourcesOfImprovement(b *testing.B) {
 	opts := benchOptions()
 	opts.Groups = []string{"MIX2", "MEM2"}
 	for i := 0; i < b.N; i++ {
-		s := experiments.NewSession(opts)
+		s := benchSession(b, opts)
 		f, err := s.Fig4()
 		if err != nil {
 			b.Fatal(err)
@@ -166,7 +176,7 @@ func BenchmarkFig5_RegisterOccupancy(b *testing.B) {
 	opts := benchOptions()
 	opts.Groups = []string{"MEM2"}
 	for i := 0; i < b.N; i++ {
-		s := experiments.NewSession(opts)
+		s := benchSession(b, opts)
 		f, err := s.Fig5()
 		if err != nil {
 			b.Fatal(err)
@@ -183,7 +193,7 @@ func BenchmarkFig6_RegisterFileSweep(b *testing.B) {
 	opts.Groups = []string{"MEM2", "MEM4"}
 	opts.RegSizes = []int{64, 128, 320}
 	for i := 0; i < b.N; i++ {
-		s := experiments.NewSession(opts)
+		s := benchSession(b, opts)
 		f, err := s.Fig6()
 		if err != nil {
 			b.Fatal(err)
@@ -196,7 +206,7 @@ func BenchmarkFig6_RegisterFileSweep(b *testing.B) {
 // BenchmarkAblation_RunaheadCache compares RaT with and without the
 // runahead cache (the §3.3 decision: the cache buys little).
 func BenchmarkAblation_RunaheadCache(b *testing.B) {
-	w := workload.ByGroup("MEM2")[1]
+	w := workload.MustByGroup("MEM2")[1]
 	cfg := core.DefaultConfig()
 	cfg.TraceLen = 6_000
 	for i := 0; i < b.N; i++ {

@@ -1,4 +1,5 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures, and
+// runs declarative scenario sweeps.
 //
 // Usage:
 //
@@ -6,8 +7,16 @@
 //	experiments -fig fig1 -quick    # Figure 1 on a reduced suite
 //	experiments -fig table1         # print the baseline configuration
 //
-// Output is plain text shaped like the paper's figures; EXPERIMENTS.md
-// records a captured run against the published numbers.
+//	# Arbitrary machine-design sweeps from a JSON spec (any core.Config
+//	# knob — ROB size, cache latency, width ... — not just the paper's
+//	# policy and register axes):
+//	experiments -scenario examples/scenarios/rob-sweep.json -format json
+//	experiments -scenario examples/scenarios/l2-latency.json -format csv -quick
+//
+// Figure output is plain text shaped like the paper's figures;
+// EXPERIMENTS.md records a captured run against the published numbers.
+// Scenario output renders as an aligned table, JSON, or CSV (-format,
+// falling back to the spec's "format" field).
 package main
 
 import (
@@ -18,10 +27,13 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "what to produce: table1, table2, fig1..fig6, or all")
+	scenarioPath := flag.String("scenario", "", "run a scenario spec (JSON file) instead of figures")
+	format := flag.String("format", "", "scenario output format: table, json or csv (default: the spec's format field, then table)")
 	quick := flag.Bool("quick", false, "reduced suite (3 workloads/group, shorter traces)")
 	traceLen := flag.Int("tracelen", 0, "override per-thread trace length")
 	perGroup := flag.Int("pergroup", 0, "override workloads per group (0 = all)")
@@ -29,6 +41,12 @@ func main() {
 	groups := flag.String("groups", "", "comma-separated group filter (e.g. MEM2,MEM4)")
 	workers := flag.Int("j", 0, "concurrent simulations (0 = all cores)")
 	flag.Parse()
+
+	// Record which flags the user actually set: defaults must not clobber
+	// values a scenario spec provides (the -seed default of 1, applied
+	// unconditionally, used to overwrite any spec seed).
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	opt := experiments.Default()
 	if *quick {
@@ -43,10 +61,63 @@ func main() {
 	if *groups != "" {
 		opt.Groups = strings.Split(*groups, ",")
 	}
-	opt.Seed = *seed
+	if set["seed"] {
+		opt.Seed = *seed
+	}
 	opt.Workers = *workers
 
-	s := experiments.NewSession(opt)
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *scenarioPath != "" {
+		sp, err := scenario.Load(*scenarioPath)
+		if err != nil {
+			fail(err)
+		}
+		// Explicit flags outrank the spec; the spec outranks harness
+		// defaults (the session base picks up the spec's measurement
+		// deltas through scenario.Spec.Base).
+		if set["seed"] {
+			sp.Base.Seed = nil
+		}
+		if set["tracelen"] {
+			sp.Base.TraceLen = nil
+		}
+		if sp.Workloads.PerGroup == 0 {
+			// Harness suite reduction (-quick's 3/group) applies when the
+			// spec does not pin its own truncation.
+			sp.Workloads.PerGroup = opt.PerGroup
+		}
+		if set["pergroup"] {
+			sp.Workloads.PerGroup = *perGroup
+		}
+		if set["groups"] {
+			sp.Workloads.Groups = opt.Groups
+		}
+		s, err := experiments.NewSession(opt)
+		if err != nil {
+			fail(err)
+		}
+		rs, err := s.RunScenario(sp)
+		if err != nil {
+			fail(err)
+		}
+		f := *format
+		if f == "" {
+			f = sp.Format
+		}
+		if err := rs.Emit(os.Stdout, f); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	s, err := experiments.NewSession(opt)
+	if err != nil {
+		fail(err)
+	}
 	want := strings.ToLower(*fig)
 	all := want == "all"
 

@@ -44,17 +44,19 @@ func main() {
 		return
 	}
 
-	names := strings.Split(*threads, ",")
-	for _, n := range names {
-		if _, ok := trace.Lookup(n); !ok {
-			fmt.Fprintf(os.Stderr, "unknown benchmark %q (try -list)\n", n)
-			os.Exit(1)
-		}
+	w := workload.Workload{Group: "custom", Benchmarks: strings.Split(*threads, ",")}
+	if err := w.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "%v (try -list)\n", err)
+		os.Exit(1)
 	}
-	w := workload.Workload{Group: "custom", Benchmarks: names}
+	pol, err := core.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
 
 	cfg := core.DefaultConfig()
-	cfg.Policy = core.PolicyKind(*policy)
+	cfg.Policy = pol
 	cfg.TraceLen = *traceLen
 	cfg.Seed = *seed
 	if *regs > 0 {
@@ -98,7 +100,7 @@ func main() {
 
 	if *fair {
 		st := core.NewSTCache(cfg)
-		if err := st.Prewarm(names, *workers); err != nil {
+		if err := st.Prewarm(w.Benchmarks, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -26,6 +26,22 @@
 // (instructions recycle through a per-core free list; see
 // internal/pipeline/pool.go and BenchmarkStepAllocs).
 //
+// On top of the session sits a declarative scenario engine
+// (internal/scenario): a Spec — loaded from JSON or built in code — names
+// a workload selection (Table 2 groups and/or ad-hoc combinations like
+// "art+mcf+swim+twolf"), a base delta, a set of crossed axes of typed
+// configuration deltas reaching any core.Config knob (ROB size, cache
+// geometry and latencies, machine width, issue queues, runahead tuning —
+// not just the paper's policy and register-file axes), the metrics to
+// reduce, and an output format. `experiments -scenario file.json -format
+// json|csv|table` runs it end to end; examples/scenarios/ documents the
+// schema and ships runnable sweeps. The session's simulation cache keys
+// by the full canonical configuration (core.Config.Canonical), so
+// scenario points, figure runs and repeated sweeps that describe the same
+// machine share one simulation. The Fig1–Fig6 reproductions are
+// themselves Spec instances plus their paper-specific reductions, with
+// golden tests (internal/experiments/testdata) locking their text output.
+//
 // Start with README.md for a tour, DESIGN.md for the architecture and the
 // substitutions made for unavailable artifacts, and EXPERIMENTS.md for the
 // measured-versus-published comparison of every table and figure.

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	w := workload.ByGroup("MEM2")[1] // art+mcf
+	w := workload.MustByGroup("MEM2")[1] // art+mcf
 
 	cfg := core.DefaultConfig()
 	cfg.TraceLen = 12_000

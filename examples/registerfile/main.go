@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	w := workload.ByGroup("MEM4")[0] // art+mcf+swim+twolf
+	w := workload.MustByGroup("MEM4")[0] // art+mcf+swim+twolf
 
 	fmt.Printf("workload %s: throughput vs physical register file size\n\n", w.Name())
 	fmt.Printf("%8s  %8s  %8s\n", "regs", "FLUSH", "RaT")

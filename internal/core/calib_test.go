@@ -29,7 +29,7 @@ func TestCalibrationShapes(t *testing.T) {
 	groups := map[string]agg{}
 	for _, g := range []string{"ILP2", "MIX2", "MEM2"} {
 		a := agg{thru: map[PolicyKind]float64{}, fair: map[PolicyKind]float64{}}
-		ws := workload.ByGroup(g)
+		ws := workload.MustByGroup(g)
 		for _, p := range pols {
 			var thrus, fairs []float64
 			for _, idx := range sample {

@@ -88,6 +88,11 @@ type Config struct {
 	MaxCycles uint64
 	// Seed decorrelates workload instances.
 	Seed uint64
+	// RunaheadExitPenalty, when nonzero, overrides the exit penalty of the
+	// policy-implied runahead configuration. It exists so configuration
+	// sweeps (internal/scenario) can reach the runahead knob that is
+	// otherwise derived from Policy inside Run.
+	RunaheadExitPenalty uint64
 }
 
 // DefaultConfig returns the Table 1 machine with FAME measurement.
@@ -209,10 +214,16 @@ func Run(cfg Config, w workload.Workload) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.RunaheadExitPenalty > 0 {
+		ra.ExitPenalty = cfg.RunaheadExitPenalty
+	}
 	pcfg := cfg.Pipeline
 	pcfg.Runahead = ra
 
-	traces := w.Traces(cfg.TraceLen, cfg.Seed)
+	traces, err := w.Traces(cfg.TraceLen, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	c, err := pipeline.New(pcfg, traces, pol)
 	if err != nil {
 		return nil, err

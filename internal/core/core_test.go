@@ -16,7 +16,7 @@ func fastCfg() Config {
 func TestRunBasics(t *testing.T) {
 	cfg := fastCfg()
 	cfg.Policy = PolicyRaT
-	w := workload.ByGroup("MIX2")[1]
+	w := workload.MustByGroup("MIX2")[1]
 	res, err := Run(cfg, w)
 	if err != nil {
 		t.Fatal(err)
@@ -55,7 +55,7 @@ func TestRunBasics(t *testing.T) {
 func TestRunDeterministic(t *testing.T) {
 	cfg := fastCfg()
 	cfg.Policy = PolicyRaT
-	w := workload.ByGroup("MEM2")[1]
+	w := workload.MustByGroup("MEM2")[1]
 	a, err := Run(cfg, w)
 	if err != nil {
 		t.Fatal(err)
@@ -77,7 +77,7 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestRunSeedsDiffer(t *testing.T) {
 	cfg := fastCfg()
-	w := workload.ByGroup("MEM2")[1]
+	w := workload.MustByGroup("MEM2")[1]
 	a, _ := Run(cfg, w)
 	cfg.Seed = 99
 	b, _ := Run(cfg, w)
@@ -89,7 +89,7 @@ func TestRunSeedsDiffer(t *testing.T) {
 func TestUnknownPolicyRejected(t *testing.T) {
 	cfg := fastCfg()
 	cfg.Policy = "bogus"
-	if _, err := Run(cfg, workload.ByGroup("ILP2")[0]); err == nil {
+	if _, err := Run(cfg, workload.MustByGroup("ILP2")[0]); err == nil {
 		t.Fatal("bogus policy accepted")
 	}
 }
@@ -98,7 +98,7 @@ func TestAllPoliciesRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("policy sweep")
 	}
-	w := workload.ByGroup("MIX2")[1]
+	w := workload.MustByGroup("MIX2")[1]
 	kinds := append(Policies(),
 		PolicyRR, PolicyRaTNoPrefetch, PolicyRaTNoFetch, PolicyRaTCache,
 		PolicyRaTNoFPInv, PolicyRaTDCRA)
@@ -123,7 +123,7 @@ func TestRaTDCRAComposition(t *testing.T) {
 	// must not suppress the mechanism).
 	cfg := fastCfg()
 	cfg.Policy = PolicyRaTDCRA
-	res, err := Run(cfg, workload.ByGroup("MEM2")[1])
+	res, err := Run(cfg, workload.MustByGroup("MEM2")[1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestSTCacheMemoizes(t *testing.T) {
 func TestTruncationReported(t *testing.T) {
 	cfg := fastCfg()
 	cfg.MaxCycles = 2_000 // absurdly small
-	res, err := Run(cfg, workload.ByGroup("MEM2")[1])
+	res, err := Run(cfg, workload.MustByGroup("MEM2")[1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestRegisterOverrideApplied(t *testing.T) {
 	cfg.Pipeline.IntRegs = 64
 	cfg.Pipeline.FPRegs = 64
 	cfg.Policy = PolicyRaT
-	res, err := Run(cfg, workload.ByGroup("MEM2")[1])
+	res, err := Run(cfg, workload.MustByGroup("MEM2")[1])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,7 +16,7 @@ func TestDiagMix(t *testing.T) {
 	cfg.TraceLen = 12_000
 	cfg.MaxCycles = 6_000_000
 
-	w := workload.ByGroup("MIX2")[1] // art+gzip
+	w := workload.MustByGroup("MIX2")[1] // art+gzip
 	for _, p := range []PolicyKind{PolicyICount, PolicySTALL, PolicyFLUSH, PolicyRaT} {
 		c := cfg
 		c.Policy = p

@@ -22,7 +22,7 @@ func TestDiagGroupAverages(t *testing.T) {
 	for _, g := range []string{"MIX2", "MEM2"} {
 		for _, p := range []PolicyKind{PolicyICount, PolicySTALL, PolicyFLUSH, PolicyDCRA, PolicyHillClimbing, PolicyRaT} {
 			var thrus, fairs []float64
-			for i, w := range workload.ByGroup(g) {
+			for i, w := range workload.MustByGroup(g) {
 				if i%3 != 0 { // subsample: this is a dashboard, not the harness
 					continue
 				}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Canonical returns a deterministic, human-readable encoding of every
+// field of the configuration — pipeline geometry, memory hierarchy,
+// runahead settings, policy, and measurement parameters. Two configs have
+// equal canonical strings iff they are equal, so the string is a
+// collision-free cache key: the experiment session's singleflight cache
+// and the scenario engine key runs by (workload, Canonical) instead of
+// the old (workload, policy, regs) triple, which made every other knob
+// invisible to caching.
+//
+// Config is a tree of plain comparable structs (no pointers, slices or
+// maps), so the %+v rendering is total and deterministic, and picks up
+// new fields automatically as the machine description grows.
+func (c Config) Canonical() string {
+	return fmt.Sprintf("%+v", c)
+}
+
+// Fingerprint returns a short stable hex digest of Canonical, for result
+// labelling (JSON/CSV output, logs). Use Canonical itself where collisions
+// must be impossible (cache keys).
+func (c Config) Fingerprint() string {
+	h := fnv.New64a()
+	h.Write([]byte(c.Canonical()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ParsePolicy validates a policy name from user input (flags, scenario
+// files) and returns it as a PolicyKind, with the valid names in the
+// error. The empty string parses as ICOUNT, matching Run's default.
+func ParsePolicy(name string) (PolicyKind, error) {
+	k := PolicyKind(name)
+	if _, _, err := buildPolicy(k); err != nil {
+		return "", fmt.Errorf("unknown policy %q (valid: %s)", name, policyNames())
+	}
+	if k == "" {
+		k = PolicyICount
+	}
+	return k, nil
+}
+
+// allPolicies lists every accepted policy, main evaluation set first.
+func allPolicies() []PolicyKind {
+	return append(Policies(),
+		PolicyRR, PolicyRaTNoPrefetch, PolicyRaTNoFetch, PolicyRaTCache,
+		PolicyRaTNoFPInv, PolicyMLP, PolicyRaTDCRA)
+}
+
+func policyNames() string {
+	var s string
+	for i, p := range allPolicies() {
+		if i > 0 {
+			s += ", "
+		}
+		s += string(p)
+	}
+	return s
+}

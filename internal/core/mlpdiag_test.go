@@ -18,7 +18,7 @@ func TestDiagMLPPolicy(t *testing.T) {
 	cfg.MaxCycles = 6_000_000
 	for _, p := range []PolicyKind{PolicySTALL, PolicyMLP, PolicyRaT} {
 		var thrus []float64
-		for i, w := range workload.ByGroup("MEM2") {
+		for i, w := range workload.MustByGroup("MEM2") {
 			if i%3 != 0 {
 				continue
 			}

@@ -1,22 +1,28 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (§5–§6). Each FigN function runs the simulations it needs
-// (sharing results through a session-level cache, since e.g. Figures 1, 2
-// and 3 all need the ICOUNT and RaT runs) and returns a structured result
-// that renders as text resembling the original figure.
+// evaluation (§5–§6). Each FigN function declares the simulation grid it
+// needs as a scenario.Spec (workload selection × policy/register axes),
+// executes it through the scenario engine on the session's worker pool,
+// and applies the figure's paper-specific reduction to the structured
+// result. Sessions cache simulations by full machine configuration
+// (core.Config.Canonical()), so figures that overlap — 1, 2 and 3 all
+// need the ICOUNT and RaT runs, and Figure 6's 320-register points are
+// the Table 1 machine — still simulate each distinct point exactly once.
 //
 // The harness is deliberately a library: cmd/experiments wraps it with
-// flags, bench_test.go wraps it with testing.B, and EXPERIMENTS.md quotes
-// its output.
+// flags (including -scenario for arbitrary JSON sweeps), bench_test.go
+// wraps it with testing.B, and EXPERIMENTS.md quotes its output.
 package experiments
 
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/singleflight"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -72,39 +78,49 @@ func (o Options) groups() []string {
 	return workload.Groups()
 }
 
-// pick returns the selected workloads of one group.
-func (o Options) pick(group string) []workload.Workload {
-	ws := workload.ByGroup(group)
-	if o.PerGroup > 0 && o.PerGroup < len(ws) {
-		ws = ws[:o.PerGroup]
-	}
-	return ws
-}
-
-// runKey identifies a cached simulation.
+// runKey identifies a cached simulation: a workload name plus the
+// collision-free canonical encoding of the complete machine
+// configuration. Any knob change — policy, register file, ROB, cache
+// geometry, runahead tuning, seed — yields a distinct key, and any two
+// requests describing the same machine share one simulation, whichever
+// figure or scenario they came from.
 type runKey struct {
 	workload string
-	policy   core.PolicyKind
-	regs     int // 0 = Table 1 default
+	config   string // core.Config.Canonical()
 }
 
 // Session shares simulation results and single-thread references across
-// figures. Independent runs execute on a bounded worker pool
-// (Options.Workers); duplicate requests for one runKey share a single
-// execution, singleflight-style, so figures that overlap (1, 2 and 3 all
-// need the ICOUNT and RaT runs) still simulate each point exactly once.
-// Errors memoize like results: a run's outcome is a pure function of its
-// configuration, so retrying a failed key could never succeed.
+// figures and scenarios. Independent runs execute on a bounded worker
+// pool (Options.Workers); duplicate requests for one runKey share a
+// single execution, singleflight-style. Errors memoize like results: a
+// run's outcome is a pure function of its configuration, so retrying a
+// failed key could never succeed.
+//
+// Session implements scenario.Runner, so scenario.Execute dispatches
+// onto the same pool and cache the figures use.
 type Session struct {
 	opt   Options
 	base  core.Config
-	st    *core.STCache
 	sem   chan struct{} // worker pool slots
 	cache singleflight.Group[runKey, *core.Result]
 }
 
-// NewSession builds a session.
-func NewSession(opt Options) *Session {
+// NewSession builds a session, validating the workload selection up
+// front: an unknown group name (e.g. from a -groups flag) or a workload
+// naming an unknown benchmark is reported here as an error listing the
+// valid names, instead of panicking mid-figure.
+func NewSession(opt Options) (*Session, error) {
+	for _, g := range opt.groups() {
+		ws, err := workload.ByGroup(g)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		for _, w := range ws {
+			if err := w.Validate(); err != nil {
+				return nil, fmt.Errorf("experiments: %w", err)
+			}
+		}
+	}
 	base := core.DefaultConfig()
 	if opt.TraceLen > 0 {
 		base.TraceLen = opt.TraceLen
@@ -120,10 +136,13 @@ func NewSession(opt Options) *Session {
 	return &Session{
 		opt:  opt,
 		base: base,
-		st:   core.NewSTCache(base),
 		sem:  make(chan struct{}, workers),
-	}
+	}, nil
 }
+
+// BaseConfig returns the configuration scenario deltas apply onto: the
+// Table 1 machine scaled by this session's Options.
+func (s *Session) BaseConfig() core.Config { return s.base }
 
 // dispatch runs fn on the worker pool: the goroutine occupies a slot for
 // the duration of fn only.
@@ -135,25 +154,20 @@ func (s *Session) dispatch(fn func()) {
 	}()
 }
 
-// start schedules (or joins) the simulation of one workload under one
-// policy, returning its call immediately. The simulation itself executes
-// on the worker pool; only the first requester of a key occupies a slot.
-func (s *Session) start(w workload.Workload, pol core.PolicyKind, regs int) *singleflight.Call[*core.Result] {
-	key := runKey{workload: w.Name(), policy: pol, regs: regs}
+// StartRun schedules (or joins) the simulation of one workload under one
+// complete configuration, returning its call immediately. The simulation
+// itself executes on the worker pool; only the first requester of a key
+// occupies a slot.
+func (s *Session) StartRun(w workload.Workload, cfg core.Config) *singleflight.Call[*core.Result] {
+	key := runKey{workload: w.Name(), config: cfg.Canonical()}
 	c, created := s.cache.Entry(key)
 	if !created {
 		return c
 	}
 	s.dispatch(func() {
-		cfg := s.base
-		cfg.Policy = pol
-		if regs > 0 {
-			cfg.Pipeline.IntRegs = regs
-			cfg.Pipeline.FPRegs = regs
-		}
 		r, err := core.Run(cfg, w)
 		if err != nil {
-			c.Fulfill(nil, fmt.Errorf("%s under %s: %w", w.Name(), pol, err))
+			c.Fulfill(nil, fmt.Errorf("%s under %s: %w", w.Name(), cfg.Policy, err))
 			return
 		}
 		c.Fulfill(r, nil)
@@ -161,59 +175,112 @@ func (s *Session) start(w workload.Workload, pol core.PolicyKind, regs int) *sin
 	return c
 }
 
-// run executes (and caches) one workload under one policy, optionally with
-// an overridden physical register file size, blocking for the result.
+// RunConfig executes (and caches) one workload under one complete
+// configuration, blocking for the result.
+func (s *Session) RunConfig(w workload.Workload, cfg core.Config) (*core.Result, error) {
+	return s.StartRun(w, cfg).Wait()
+}
+
+// referenceWorkload is the single-thread workload of a fairness
+// reference, and referenceConfig the machine it runs on: the same
+// configuration as the SMT run being normalized, under the baseline
+// policy (per Luo et al., the reference processor is the baseline
+// machine, identical for every policy being compared — but it must share
+// the SMT run's geometry, seed and trace length, or the speedup would
+// compare different machines or even different instruction streams).
+func referenceWorkload(benchmark string) workload.Workload {
+	return workload.Workload{Group: "ST", Benchmarks: []string{benchmark}}
+}
+
+func referenceConfig(cfg core.Config) core.Config {
+	cfg.Policy = core.PolicyICount
+	return cfg
+}
+
+// StartReference schedules (or joins) a benchmark's single-thread
+// reference run for the given machine, without blocking. References live
+// in the same canonical-config cache as every other run, so references
+// for configurations differing only in policy collapse to one
+// simulation.
+func (s *Session) StartReference(benchmark string, cfg core.Config) {
+	s.StartRun(referenceWorkload(benchmark), referenceConfig(cfg))
+}
+
+// Reference blocks for a benchmark's single-thread reference IPC on the
+// given machine (the IPC_ST of the fairness metric).
+func (s *Session) Reference(benchmark string, cfg core.Config) (float64, error) {
+	res, err := s.RunConfig(referenceWorkload(benchmark), referenceConfig(cfg))
+	if err != nil {
+		return 0, err
+	}
+	return res.Threads[0].IPC, nil
+}
+
+// configFor builds the session configuration for a policy and an
+// optionally overridden register file size (0 = Table 1 default).
+func (s *Session) configFor(pol core.PolicyKind, regs int) core.Config {
+	cfg := s.base
+	cfg.Policy = pol
+	if regs > 0 {
+		cfg.Pipeline.IntRegs = regs
+		cfg.Pipeline.FPRegs = regs
+	}
+	return cfg
+}
+
+// run executes (and caches) one workload under one policy, optionally
+// with an overridden physical register file size, blocking for the
+// result.
 func (s *Session) run(w workload.Workload, pol core.PolicyKind, regs int) (*core.Result, error) {
-	return s.start(w, pol, regs).Wait()
+	return s.RunConfig(w, s.configFor(pol, regs))
 }
 
-// prewarm dispatches every (workload, policy, regs) point a figure needs
-// onto the worker pool, plus the single-thread references when the figure
-// computes fairness. It returns without waiting: the figure's sequential
-// reduction then collects each result in a fixed order, which is what
-// keeps parallel output bit-identical to a Workers=1 session. Duplicate
-// points — within this figure or against previous figures — spawn
-// nothing, so every occupied pool slot is doing novel simulation work.
-func (s *Session) prewarm(pols []core.PolicyKind, regs []int, withST bool) {
-	if regs == nil {
-		regs = []int{0}
-	}
-	for _, g := range s.opt.groups() {
-		for _, w := range s.opt.pick(g) {
-			for _, r := range regs {
-				for _, p := range pols {
-					s.start(w, p, r)
-				}
-			}
-			if !withST {
-				continue
-			}
-			for _, b := range w.Benchmarks {
-				if fn := s.st.Begin(b); fn != nil {
-					s.dispatch(fn)
-				}
-				// nil: computed or in flight; the reduction re-reads it.
-			}
-		}
+// RunScenario executes a declarative sweep on this session's worker pool
+// and cache. Points that coincide with figure runs (or with each other)
+// are simulated once.
+func (s *Session) RunScenario(sp *scenario.Spec) (*scenario.ResultSet, error) {
+	return scenario.Execute(s, sp)
+}
+
+// figureSpec assembles the scenario a figure needs: the session's
+// workload selection crossed with the figure's axes.
+func (s *Session) figureSpec(name string, mets []string, axes ...scenario.Axis) *scenario.Spec {
+	return &scenario.Spec{
+		Name:      name,
+		Workloads: scenario.WorkloadSpec{Groups: s.opt.groups(), PerGroup: s.opt.PerGroup},
+		Axes:      axes,
+		Metrics:   mets,
 	}
 }
 
-// groupMetrics averages throughput and fairness over a group's workloads.
-func (s *Session) groupMetrics(group string, pol core.PolicyKind) (thru, fair float64, err error) {
-	var thrus, fairs []float64
-	for _, w := range s.opt.pick(group) {
-		res, err := s.run(w, pol, 0)
-		if err != nil {
-			return 0, 0, err
-		}
-		stv, err := s.st.STVector(w)
-		if err != nil {
-			return 0, 0, err
-		}
-		thrus = append(thrus, metrics.Throughput(res.IPCs()))
-		fairs = append(fairs, metrics.Fairness(stv, res.IPCs()))
+// policyAxis builds the "policy" axis from a policy list.
+func policyAxis(pols []core.PolicyKind) scenario.Axis {
+	ax := scenario.Axis{Name: "policy"}
+	for _, p := range pols {
+		name := string(p)
+		ax.Points = append(ax.Points, scenario.Point{Label: name, Delta: scenario.Delta{Policy: &name}})
 	}
-	return stats.Mean(thrus), stats.Mean(fairs), nil
+	return ax
+}
+
+// regsAxis builds the "regs" axis of Figure 6's register file sweep.
+func regsAxis(sizes []int) scenario.Axis {
+	ax := scenario.Axis{Name: "regs"}
+	for _, n := range sizes {
+		size := n
+		ax.Points = append(ax.Points, scenario.Point{Label: strconv.Itoa(size), Delta: scenario.Delta{Regs: &size}})
+	}
+	return ax
+}
+
+// groupRows calls fn for each workload of a group, in selection order,
+// with the workload's grid row index.
+func groupRows(rs *scenario.ResultSet, group string, fn func(wi int, w workload.Workload)) {
+	for wi, w := range rs.Workloads {
+		if w.Group == group {
+			fn(wi, w)
+		}
+	}
 }
 
 // PolicyFigure is the shared shape of Figures 1 and 2: group-average
@@ -227,10 +294,13 @@ type PolicyFigure struct {
 	Fairness   map[string]map[core.PolicyKind]float64
 }
 
-// policyFigure runs the common Figure 1/2 machinery: dispatch every
-// needed simulation onto the worker pool, then reduce sequentially.
+// policyFigure runs the common Figure 1/2 machinery: one policy axis,
+// throughput and fairness per cell, group-averaged.
 func (s *Session) policyFigure(name string, pols []core.PolicyKind) (*PolicyFigure, error) {
-	s.prewarm(pols, nil, true)
+	rs, err := s.RunScenario(s.figureSpec(name, []string{"throughput", "fairness"}, policyAxis(pols)))
+	if err != nil {
+		return nil, err
+	}
 	f := &PolicyFigure{
 		Name:       name,
 		Policies:   pols,
@@ -241,13 +311,14 @@ func (s *Session) policyFigure(name string, pols []core.PolicyKind) (*PolicyFigu
 	for _, g := range f.Groups {
 		f.Throughput[g] = map[core.PolicyKind]float64{}
 		f.Fairness[g] = map[core.PolicyKind]float64{}
-		for _, p := range pols {
-			thru, fair, err := s.groupMetrics(g, p)
-			if err != nil {
-				return nil, err
-			}
-			f.Throughput[g][p] = thru
-			f.Fairness[g][p] = fair
+		for pi, p := range pols {
+			var thrus, fairs []float64
+			groupRows(rs, g, func(wi int, _ workload.Workload) {
+				thrus = append(thrus, rs.Value(wi, pi, 0))
+				fairs = append(fairs, rs.Value(wi, pi, 1))
+			})
+			f.Throughput[g][p] = stats.Mean(thrus)
+			f.Fairness[g][p] = stats.Mean(fairs)
 		}
 	}
 	return f, nil
@@ -311,28 +382,23 @@ type Fig3Result struct {
 func (s *Session) Fig3() (*Fig3Result, error) {
 	pols := []core.PolicyKind{core.PolicyICount, core.PolicySTALL, core.PolicyFLUSH,
 		core.PolicyDCRA, core.PolicyHillClimbing, core.PolicyRaT}
-	s.prewarm(pols, nil, false)
+	rs, err := s.RunScenario(s.figureSpec("Figure 3", []string{"ed2"}, policyAxis(pols)))
+	if err != nil {
+		return nil, err
+	}
+	const icIdx = 0 // ICOUNT's position in pols
 	f := &Fig3Result{Groups: s.opt.groups(), Policies: pols, ED2: map[string]map[core.PolicyKind]float64{}}
 	for _, g := range f.Groups {
 		f.ED2[g] = map[core.PolicyKind]float64{}
 		// Per-workload ED2 normalized to that workload's ICOUNT, then
 		// group-averaged (the paper normalizes per workload).
 		sums := map[core.PolicyKind][]float64{}
-		for _, w := range s.opt.pick(g) {
-			base, err := s.run(w, core.PolicyICount, 0)
-			if err != nil {
-				return nil, err
+		groupRows(rs, g, func(wi int, _ workload.Workload) {
+			baseED2 := rs.Value(wi, icIdx, 0)
+			for pi, p := range pols {
+				sums[p] = append(sums[p], metrics.Normalize(rs.Value(wi, pi, 0), baseED2))
 			}
-			baseED2 := metrics.ED2(base.ExecutedTotal, base.Cycles, base.CommittedTotal)
-			for _, p := range pols {
-				res, err := s.run(w, p, 0)
-				if err != nil {
-					return nil, err
-				}
-				ed2 := metrics.ED2(res.ExecutedTotal, res.Cycles, res.CommittedTotal)
-				sums[p] = append(sums[p], metrics.Normalize(ed2, baseED2))
-			}
-		}
+		})
 		for _, p := range pols {
 			f.ED2[g][p] = stats.Mean(sums[p])
 		}

@@ -33,11 +33,21 @@ func TestTablesRender(t *testing.T) {
 	}
 }
 
+// mustSession builds a session or fails the test.
+func mustSession(t *testing.T, o Options) *Session {
+	t.Helper()
+	s, err := NewSession(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestFig1ShapeAndCache(t *testing.T) {
 	if testing.Short() {
 		t.Skip("harness run")
 	}
-	s := NewSession(tinyOptions())
+	s := mustSession(t, tinyOptions())
 	f, err := s.Fig1()
 	if err != nil {
 		t.Fatal(err)
@@ -75,7 +85,7 @@ func TestFig3Normalization(t *testing.T) {
 	if testing.Short() {
 		t.Skip("harness run")
 	}
-	s := NewSession(tinyOptions())
+	s := mustSession(t, tinyOptions())
 	f, err := s.Fig3()
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +103,7 @@ func TestFig4Renders(t *testing.T) {
 	}
 	o := tinyOptions()
 	o.Groups = []string{"MEM2"}
-	s := NewSession(o)
+	s := mustSession(t, o)
 	f, err := s.Fig4()
 	if err != nil {
 		t.Fatal(err)
@@ -112,7 +122,7 @@ func TestFig5RunaheadLighter(t *testing.T) {
 	}
 	o := tinyOptions()
 	o.Groups = []string{"MEM2"}
-	s := NewSession(o)
+	s := mustSession(t, o)
 	f, err := s.Fig5()
 	if err != nil {
 		t.Fatal(err)
@@ -129,7 +139,7 @@ func TestFig6Shape(t *testing.T) {
 	}
 	o := tinyOptions()
 	o.Groups = []string{"MEM2"}
-	s := NewSession(o)
+	s := mustSession(t, o)
 	f, err := s.Fig6()
 	if err != nil {
 		t.Fatal(err)
@@ -150,15 +160,25 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestOptionsSelection(t *testing.T) {
-	o := Options{PerGroup: 2}
-	if got := len(o.pick("MEM2")); got != 2 {
-		t.Fatalf("pick returned %d", got)
-	}
+	o := Options{}
 	if got := len(o.groups()); got != 6 {
 		t.Fatalf("default groups = %d", got)
 	}
 	o.Groups = []string{"MEM2"}
 	if got := len(o.groups()); got != 1 {
 		t.Fatalf("filtered groups = %d", got)
+	}
+}
+
+// TestNewSessionValidatesGroups covers the former panic path: an unknown
+// group name straight from a -groups flag must come back as an error
+// listing the valid names.
+func TestNewSessionValidatesGroups(t *testing.T) {
+	o := Quick()
+	o.Groups = []string{"MEM2", "NOPE"}
+	if _, err := NewSession(o); err == nil {
+		t.Fatal("unknown group accepted")
+	} else if !strings.Contains(err.Error(), "ILP2") {
+		t.Fatalf("error does not list valid groups: %v", err)
 	}
 }

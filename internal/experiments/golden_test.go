@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the figure golden files")
+
+// goldenOptions is the fixed configuration the figure goldens were
+// captured with. It must never change: the goldens prove the scenario
+// refactor preserved each figure's text output bit for bit.
+func goldenOptions() Options {
+	o := Quick()
+	o.TraceLen = 4_000
+	o.PerGroup = 1
+	o.Groups = []string{"MIX2", "MEM2"}
+	o.RegSizes = []int{64, 320}
+	return o
+}
+
+// TestFiguresGolden locks the rendered text of every figure (and both
+// tables) against golden files. Run with -update to regenerate after an
+// intentional output change.
+func TestFiguresGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	s := mustSession(t, goldenOptions())
+	figs := []struct {
+		name   string
+		render func() (string, error)
+	}{
+		{"table1", func() (string, error) { return Table1(), nil }},
+		{"table2", func() (string, error) { return Table2(), nil }},
+		{"fig1", func() (string, error) { f, err := s.Fig1(); return stringify(f, err) }},
+		{"fig2", func() (string, error) { f, err := s.Fig2(); return stringify(f, err) }},
+		{"fig3", func() (string, error) { f, err := s.Fig3(); return stringify(f, err) }},
+		{"fig4", func() (string, error) { f, err := s.Fig4(); return stringify(f, err) }},
+		{"fig5", func() (string, error) { f, err := s.Fig5(); return stringify(f, err) }},
+		{"fig6", func() (string, error) { f, err := s.Fig6(); return stringify(f, err) }},
+	}
+	for _, fig := range figs {
+		t.Run(fig.name, func(t *testing.T) {
+			got, err := fig.render()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", fig.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", fig.name, got, want)
+			}
+		})
+	}
+}
+
+func stringify(f fmt.Stringer, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return f.String(), nil
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/workload"
 )
 
 // TestParallelMatchesSequential asserts the harness's core determinism
@@ -24,7 +25,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 	oSeq.Workers = 1
 	oPar := o
 	oPar.Workers = 4
-	seq, par := NewSession(oSeq), NewSession(oPar)
+	seq, par := mustSession(t, oSeq), mustSession(t, oPar)
 
 	sf, err := seq.Fig1()
 	if err != nil {
@@ -54,7 +55,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 
 	// Compare one raw Result end to end (every counter, not just the
 	// figure-level aggregates).
-	w := o.pick("MEM2")[0]
+	w := workload.MustByGroup("MEM2")[0]
 	sr, err := seq.run(w, core.PolicyRaT, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -78,7 +79,7 @@ func TestSessionSharesRunsAcrossConcurrentFigures(t *testing.T) {
 	o := tinyOptions()
 	o.Groups = []string{"MEM2"}
 	o.Workers = 4
-	s := NewSession(o)
+	s := mustSession(t, o)
 
 	errs := make(chan error, 2)
 	go func() { _, err := s.Fig1(); errs <- err }()
@@ -90,8 +91,11 @@ func TestSessionSharesRunsAcrossConcurrentFigures(t *testing.T) {
 	}
 
 	// Fig1 needs ICOUNT/STALL/FLUSH/RaT; Fig3 adds DCRA and HillClimbing:
-	// 6 policies on 1 workload = 6 runs, shared, not 4+6.
-	if n := s.cache.Len(); n != 6 {
-		t.Errorf("cache holds %d entries, want 6 (runs not shared)", n)
+	// 6 policies on 1 workload = 6 runs, shared, not 4+6. Fig1's fairness
+	// metric adds one single-thread reference per benchmark (the combos
+	// differ only in policy, so all four collapse onto one ICOUNT
+	// reference config): 2 more entries for the 2-thread workload.
+	if n := s.cache.Len(); n != 8 {
+		t.Errorf("cache holds %d entries, want 8 (6 shared runs + 2 references)", n)
 	}
 }

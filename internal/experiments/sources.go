@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -32,8 +31,14 @@ type Fig4Result struct {
 
 // Fig4 reproduces Figure 4's three experiments.
 func (s *Session) Fig4() (*Fig4Result, error) {
-	s.prewarm([]core.PolicyKind{core.PolicyRaT, core.PolicyRaTNoPrefetch,
-		core.PolicyRaTNoFetch, core.PolicyICount}, nil, false)
+	// Axis order fixes the combo index of each policy below.
+	pols := []core.PolicyKind{core.PolicyRaT, core.PolicyRaTNoPrefetch,
+		core.PolicyRaTNoFetch, core.PolicyICount}
+	const iRat, iNoPf, iNoFetch, iIC = 0, 1, 2, 3
+	rs, err := s.RunScenario(s.figureSpec("Figure 4", []string{"throughput"}, policyAxis(pols)))
+	if err != nil {
+		return nil, err
+	}
 	f := &Fig4Result{
 		Groups:               s.opt.groups(),
 		Prefetching:          map[string]float64{},
@@ -42,27 +47,11 @@ func (s *Session) Fig4() (*Fig4Result, error) {
 	}
 	for _, g := range f.Groups {
 		var pref, avail, over []float64
-		for _, w := range s.opt.pick(g) {
-			rat, err := s.run(w, core.PolicyRaT, 0)
-			if err != nil {
-				return nil, err
-			}
-			noPf, err := s.run(w, core.PolicyRaTNoPrefetch, 0)
-			if err != nil {
-				return nil, err
-			}
-			noFetch, err := s.run(w, core.PolicyRaTNoFetch, 0)
-			if err != nil {
-				return nil, err
-			}
-			icount, err := s.run(w, core.PolicyICount, 0)
-			if err != nil {
-				return nil, err
-			}
-			tRat := metrics.Throughput(rat.IPCs())
-			tNoPf := metrics.Throughput(noPf.IPCs())
-			tNoFetch := metrics.Throughput(noFetch.IPCs())
-			tIC := metrics.Throughput(icount.IPCs())
+		groupRows(rs, g, func(wi int, w workload.Workload) {
+			tRat := rs.Value(wi, iRat, 0)
+			tNoPf := rs.Value(wi, iNoPf, 0)
+			tNoFetch := rs.Value(wi, iNoFetch, 0)
+			tIC := rs.Value(wi, iIC, 0)
 			if tNoPf > 0 {
 				pref = append(pref, tRat/tNoPf-1)
 			}
@@ -71,6 +60,7 @@ func (s *Session) Fig4() (*Fig4Result, error) {
 			}
 			// Overhead: degradation of the non-MEM co-runners under
 			// useless runahead (no prefetching) vs ICOUNT.
+			icount, noPf := rs.Result(wi, iIC), rs.Result(wi, iNoPf)
 			for i := range w.Benchmarks {
 				if trace.MustLookup(w.Benchmarks[i]).Class == trace.ClassMEM {
 					continue
@@ -80,7 +70,7 @@ func (s *Session) Fig4() (*Fig4Result, error) {
 					over = append(over, 1-b/a)
 				}
 			}
-		}
+		})
 		f.Prefetching[g] = stats.Mean(pref)
 		f.ResourceAvailability[g] = stats.Mean(avail)
 		f.Overhead[g] = stats.Mean(over)
@@ -115,26 +105,24 @@ type Fig5Result struct {
 
 // Fig5 reproduces Figure 5.
 func (s *Session) Fig5() (*Fig5Result, error) {
-	s.prewarm([]core.PolicyKind{core.PolicyICount, core.PolicyRaT}, nil, false)
+	const iIC, iRat = 0, 1
+	rs, err := s.RunScenario(s.figureSpec("Figure 5", []string{"throughput"},
+		policyAxis([]core.PolicyKind{core.PolicyICount, core.PolicyRaT})))
+	if err != nil {
+		return nil, err
+	}
 	f := &Fig5Result{Groups: s.opt.groups(), Normal: map[string]float64{}, Runahead: map[string]float64{}}
 	for _, g := range f.Groups {
 		var normal, ra []float64
-		for _, w := range s.opt.pick(g) {
-			icount, err := s.run(w, core.PolicyICount, 0)
-			if err != nil {
-				return nil, err
-			}
-			rat, err := s.run(w, core.PolicyRaT, 0)
-			if err != nil {
-				return nil, err
-			}
+		groupRows(rs, g, func(wi int, w workload.Workload) {
+			icount, rat := rs.Result(wi, iIC), rs.Result(wi, iRat)
 			for i := range w.Benchmarks {
 				normal = append(normal, icount.Threads[i].RegsNormal)
 				if rat.Threads[i].CyclesInRunahead > 0 {
 					ra = append(ra, rat.Threads[i].RegsRunahead)
 				}
 			}
-		}
+		})
 		f.Normal[g] = stats.Mean(normal)
 		f.Runahead[g] = stats.Mean(ra)
 	}
@@ -161,10 +149,17 @@ type Fig6Result struct {
 }
 
 // Fig6 reproduces Figure 6, sweeping the register file from 64 to 320
-// entries per file.
+// entries per file — a two-axis scenario (regs × policy). Points whose
+// register size matches Table 1 share their simulations with the other
+// figures: the cache keys by full configuration, not by which figure
+// asked.
 func (s *Session) Fig6() (*Fig6Result, error) {
 	pols := []core.PolicyKind{core.PolicyFLUSH, core.PolicyRaT}
-	s.prewarm(pols, s.opt.RegSizes, false)
+	rs, err := s.RunScenario(s.figureSpec("Figure 6", []string{"throughput"},
+		regsAxis(s.opt.RegSizes), policyAxis(pols)))
+	if err != nil {
+		return nil, err
+	}
 	f := &Fig6Result{
 		Groups:     s.opt.groups(),
 		Sizes:      s.opt.RegSizes,
@@ -172,17 +167,14 @@ func (s *Session) Fig6() (*Fig6Result, error) {
 	}
 	for _, g := range f.Groups {
 		f.Throughput[g] = map[int]map[core.PolicyKind]float64{}
-		for _, size := range f.Sizes {
+		for si, size := range f.Sizes {
 			f.Throughput[g][size] = map[core.PolicyKind]float64{}
-			for _, p := range pols {
+			for pi, p := range pols {
+				ci := si*len(pols) + pi // regs axis is slowest-varying
 				var thrus []float64
-				for _, w := range s.opt.pick(g) {
-					res, err := s.run(w, p, size)
-					if err != nil {
-						return nil, err
-					}
-					thrus = append(thrus, metrics.Throughput(res.IPCs()))
-				}
+				groupRows(rs, g, func(wi int, _ workload.Workload) {
+					thrus = append(thrus, rs.Value(wi, ci, 0))
+				})
 				f.Throughput[g][size][p] = stats.Mean(thrus)
 			}
 		}
@@ -236,7 +228,7 @@ func Table2() string {
 	tb := report.NewTable("Table 2: SMT simulation workloads", "group", "workloads")
 	for _, g := range workload.Groups() {
 		var names []string
-		for _, w := range workload.ByGroup(g) {
+		for _, w := range workload.MustByGroup(g) {
 			names = append(names, strings.Join(w.Benchmarks, ","))
 		}
 		tb.AddRow(g, strings.Join(names, "  "))

@@ -98,5 +98,22 @@ func (c Config) Validate() error {
 	case c.BranchPredRows <= 0:
 		return fmt.Errorf("pipeline: predictor rows %d", c.BranchPredRows)
 	}
+	// Validate the memory hierarchy here too: scenario deltas can reshape
+	// any cache, and mem's constructors panic on incoherent geometry, so
+	// the error path must trigger first.
+	for _, cc := range []mem.CacheConfig{c.Mem.IL1, c.Mem.DL1, c.Mem.L2} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Mem.MemLatency == 0 {
+		return fmt.Errorf("mem: zero main-memory latency")
+	}
+	if c.Mem.MSHRs <= 0 {
+		return fmt.Errorf("mem: %d MSHRs, need at least one", c.Mem.MSHRs)
+	}
+	if c.Runahead.Enabled && c.Runahead.UseRunaheadCache && c.RunaheadCacheEntries <= 0 {
+		return fmt.Errorf("pipeline: runahead cache enabled with %d entries", c.RunaheadCacheEntries)
+	}
 	return nil
 }

@@ -68,24 +68,38 @@ func Groups() []string {
 	return []string{"ILP2", "MIX2", "MEM2", "ILP4", "MIX4", "MEM4"}
 }
 
-// ByGroup returns all workloads of one group.
-func ByGroup(group string) []Workload {
+// ByGroup returns all workloads of one group. Unknown group names — which
+// can arrive straight from a user's -groups flag or a scenario file — are
+// reported as an error naming the valid groups, never a panic.
+func ByGroup(group string) ([]Workload, error) {
 	rows, ok := table2[group]
 	if !ok {
-		panic("workload: unknown group " + group)
+		return nil, fmt.Errorf("workload: unknown group %q (valid groups: %s)",
+			group, strings.Join(Groups(), ", "))
 	}
 	out := make([]Workload, 0, len(rows))
 	for _, b := range rows {
 		out = append(out, Workload{Group: group, Benchmarks: b})
 	}
-	return out
+	return out, nil
+}
+
+// MustByGroup is ByGroup for the static Table 2 group names; it panics on
+// an unknown group and exists for tests, examples and benchmark tables
+// where the name is a compile-time constant.
+func MustByGroup(group string) []Workload {
+	ws, err := ByGroup(group)
+	if err != nil {
+		panic(err)
+	}
+	return ws
 }
 
 // All returns the full 54-workload suite in group order.
 func All() []Workload {
 	var out []Workload
 	for _, g := range Groups() {
-		out = append(out, ByGroup(g)...)
+		out = append(out, MustByGroup(g)...)
 	}
 	return out
 }
@@ -115,17 +129,66 @@ const (
 	codeRegionStride = 0x0100_0000
 )
 
+// MaxThreads is the hardware context limit of the simulated machine.
+const MaxThreads = 8
+
+// Validate checks that the workload names a plausible thread count and
+// only known benchmarks, reporting unknown names with the valid list.
+// Entry points (experiments.NewSession, scenario loading, smtsim) call it
+// so that no user-supplied workload can reach the trace generator's
+// lookup path unchecked.
+func (w Workload) Validate() error {
+	if len(w.Benchmarks) == 0 {
+		return fmt.Errorf("workload %q: no benchmarks", w.Group)
+	}
+	if len(w.Benchmarks) > MaxThreads {
+		return fmt.Errorf("workload %s: %d threads exceeds the %d hardware contexts",
+			w.Name(), len(w.Benchmarks), MaxThreads)
+	}
+	for _, name := range w.Benchmarks {
+		if _, ok := trace.Lookup(name); !ok {
+			return fmt.Errorf("workload %s: unknown benchmark %q (valid benchmarks: %s)",
+				w.Name(), name, strings.Join(trace.Names(), ", "))
+		}
+	}
+	return nil
+}
+
+// Parse builds an ad-hoc workload from a "+"-joined benchmark list, e.g.
+// "art+mcf+swim+twolf", optionally prefixed with a group label as in
+// "MYGROUP/art+mcf". Scenario files use it to run combinations beyond
+// Table 2. The workload is validated before it is returned.
+func Parse(spec string) (Workload, error) {
+	group := "adhoc"
+	rest := spec
+	if i := strings.IndexByte(spec, '/'); i >= 0 {
+		group, rest = spec[:i], spec[i+1:]
+		if group == "" {
+			return Workload{}, fmt.Errorf("workload: empty group in %q", spec)
+		}
+	}
+	if rest == "" {
+		return Workload{}, fmt.Errorf("workload: empty benchmark list in %q", spec)
+	}
+	w := Workload{Group: group, Benchmarks: strings.Split(rest, "+")}
+	if err := w.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}
+
 // Traces materializes the workload's instruction traces: one per context,
 // deterministic in (workload, seed, length), with disjoint address spaces
 // and decorrelated generation streams (two copies of one benchmark do not
-// march in lockstep).
-func (w Workload) Traces(length int, seed uint64) []*trace.Trace {
+// march in lockstep). Unknown benchmark names surface as an error (the
+// same one Validate reports).
+func (w Workload) Traces(length int, seed uint64) ([]*trace.Trace, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
 	out := make([]*trace.Trace, 0, len(w.Benchmarks))
 	for i, name := range w.Benchmarks {
-		p, ok := trace.Lookup(name)
-		if !ok {
-			panic(fmt.Sprintf("workload %s: unknown benchmark %q", w.Name(), name))
-		}
+		p, _ := trace.Lookup(name)
 		out = append(out, trace.Generate(p, trace.Options{
 			Len:      length,
 			Seed:     seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15),
@@ -133,5 +196,15 @@ func (w Workload) Traces(length int, seed uint64) []*trace.Trace {
 			CodeBase: uint64(codeRegionBase + i*codeRegionStride),
 		}))
 	}
-	return out
+	return out, nil
+}
+
+// MustTraces is Traces for statically known-good workloads (tests and
+// benchmarks); it panics on validation failure.
+func (w Workload) MustTraces(length int, seed uint64) []*trace.Trace {
+	ts, err := w.Traces(length, seed)
+	if err != nil {
+		panic(err)
+	}
+	return ts
 }

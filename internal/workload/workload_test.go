@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/trace"
@@ -12,7 +13,7 @@ func TestTable2Counts(t *testing.T) {
 	want := map[string]int{"ILP2": 10, "MIX2": 10, "MEM2": 10, "ILP4": 8, "MIX4": 8, "MEM4": 8}
 	total := 0
 	for g, n := range want {
-		got := len(ByGroup(g))
+		got := len(MustByGroup(g))
 		if got != n {
 			t.Errorf("%s has %d workloads, want %d", g, got, n)
 		}
@@ -47,7 +48,7 @@ func TestMEMGroupsAreMemoryBound(t *testing.T) {
 	// Every benchmark in a MEM workload must be MEM-classified; ILP groups
 	// must be pure ILP. (MIX groups mix by construction.)
 	for _, g := range []string{"MEM2", "MEM4"} {
-		for _, w := range ByGroup(g) {
+		for _, w := range MustByGroup(g) {
 			for _, b := range w.Benchmarks {
 				if trace.MustLookup(b).Class != trace.ClassMEM {
 					t.Errorf("%s contains non-MEM benchmark %s", w.Name(), b)
@@ -56,7 +57,7 @@ func TestMEMGroupsAreMemoryBound(t *testing.T) {
 		}
 	}
 	for _, g := range []string{"ILP2", "ILP4"} {
-		for _, w := range ByGroup(g) {
+		for _, w := range MustByGroup(g) {
 			for _, b := range w.Benchmarks {
 				if trace.MustLookup(b).Class != trace.ClassILP {
 					t.Errorf("%s contains non-ILP benchmark %s", w.Name(), b)
@@ -68,7 +69,7 @@ func TestMEMGroupsAreMemoryBound(t *testing.T) {
 
 func TestMIXGroupsActuallyMix(t *testing.T) {
 	for _, g := range []string{"MIX2", "MIX4"} {
-		for _, w := range ByGroup(g) {
+		for _, w := range MustByGroup(g) {
 			mem, ilp := 0, 0
 			for _, b := range w.Benchmarks {
 				if trace.MustLookup(b).Class == trace.ClassMEM {
@@ -85,8 +86,8 @@ func TestMIXGroupsActuallyMix(t *testing.T) {
 }
 
 func TestTracesDisjointAddressSpaces(t *testing.T) {
-	w := ByGroup("MEM2")[1] // art+mcf
-	traces := w.Traces(5000, 1)
+	w := MustByGroup("MEM2")[1] // art+mcf
+	traces := w.MustTraces(5000, 1)
 	if len(traces) != 2 {
 		t.Fatalf("got %d traces", len(traces))
 	}
@@ -113,9 +114,9 @@ func TestTracesDisjointAddressSpaces(t *testing.T) {
 }
 
 func TestTracesDeterministic(t *testing.T) {
-	w := ByGroup("MIX2")[0]
-	a := w.Traces(2000, 7)
-	b := w.Traces(2000, 7)
+	w := MustByGroup("MIX2")[0]
+	a := w.MustTraces(2000, 7)
+	b := w.MustTraces(2000, 7)
 	for i := range a {
 		for j := uint64(0); j < 2000; j++ {
 			if *a[i].At(j) != *b[i].At(j) {
@@ -129,7 +130,7 @@ func TestDuplicateBenchmarksDecorrelated(t *testing.T) {
 	// MEM4 "swim,applu,art,mcf" has no duplicates; craft a workload with
 	// one to verify copies decorrelate.
 	w := Workload{Group: "MEM2", Benchmarks: []string{"art", "art"}}
-	traces := w.Traces(2000, 3)
+	traces := w.MustTraces(2000, 3)
 	same := 0
 	for j := uint64(0); j < 2000; j++ {
 		a, b := traces[0].At(j), traces[1].At(j)
@@ -142,11 +143,61 @@ func TestDuplicateBenchmarksDecorrelated(t *testing.T) {
 	}
 }
 
-func TestByGroupPanicsOnUnknown(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown group accepted")
+func TestByGroupRejectsUnknown(t *testing.T) {
+	if _, err := ByGroup("NOPE"); err == nil {
+		t.Fatal("unknown group accepted")
+	} else if !strings.Contains(err.Error(), "MEM4") {
+		t.Fatalf("error does not list valid groups: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		w  Workload
+		ok bool
+	}{
+		{Workload{Group: "MEM2", Benchmarks: []string{"art", "mcf"}}, true},
+		{Workload{Group: "X", Benchmarks: []string{"art", "nonesuch"}}, false},
+		{Workload{Group: "X"}, false},
+		{Workload{Group: "X", Benchmarks: make([]string, MaxThreads+1)}, false},
+	}
+	for _, c := range cases {
+		err := c.w.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%v) = %v, want ok=%v", c.w, err, c.ok)
 		}
-	}()
-	ByGroup("NOPE")
+	}
+	if err := (Workload{Group: "X", Benchmarks: []string{"art", "nonesuch"}}).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "mcf") {
+		t.Errorf("unknown-benchmark error does not list valid names: %v", err)
+	}
+}
+
+func TestTracesSurfacesUnknownBenchmark(t *testing.T) {
+	w := Workload{Group: "X", Benchmarks: []string{"nonesuch"}}
+	if _, err := w.Traces(100, 1); err == nil {
+		t.Fatal("unknown benchmark accepted by Traces")
+	}
+}
+
+func TestParse(t *testing.T) {
+	w, err := Parse("art+mcf+swim+twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "adhoc/art+mcf+swim+twolf" || w.Threads() != 4 {
+		t.Fatalf("parsed %q with %d threads", w.Name(), w.Threads())
+	}
+	w, err = Parse("HOT/art+art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Group != "HOT" || len(w.Benchmarks) != 2 {
+		t.Fatalf("parsed group %q, %d benchmarks", w.Group, len(w.Benchmarks))
+	}
+	for _, bad := range []string{"", "art+nonesuch", "/art", "MEM2/", "art+"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
 }
