@@ -33,7 +33,7 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "what to produce: table1, table2, fig1..fig6, or all")
 	scenarioPath := flag.String("scenario", "", "run a scenario spec (JSON file) instead of figures")
-	format := flag.String("format", "", "scenario output format: table, json or csv (default: the spec's format field, then table)")
+	format := flag.String("format", "", "scenario output format: table, json, csv or ndjson (default: the spec's format field, then table)")
 	quick := flag.Bool("quick", false, "reduced suite (3 workloads/group, shorter traces)")
 	traceLen := flag.Int("tracelen", 0, "override per-thread trace length")
 	perGroup := flag.Int("pergroup", 0, "override workloads per group (0 = all)")

@@ -1,0 +1,252 @@
+// Command smtsimd serves the scenario engine as a long-running HTTP/JSON
+// daemon: clients POST declarative sweep specs and receive reduced
+// results, with every simulation deduplicated and cached across requests
+// by full canonical machine configuration.
+//
+//	smtsimd -addr :8080 -cache-entries 4096 -cache-bytes 268435456 -j 8
+//
+// API:
+//
+//	POST /v1/scenario[?format=ndjson|table|json|csv]
+//	    Body: a scenario.Spec JSON document (same schema as the
+//	    -scenario flag of cmd/experiments; see examples/scenarios/).
+//	    The default format streams reduced rows as NDJSON — one JSON
+//	    object per grid cell, written as soon as that cell's simulation
+//	    completes, in a fixed workload-major order that is bit-identical
+//	    for any worker count. table, json and csv buffer the full result
+//	    set before writing. Spec errors return 400 with a JSON {"error"}
+//	    body; simulation failures return 500 (buffered formats) or an
+//	    {"error"} NDJSON line terminating the stream.
+//	GET /v1/metrics
+//	    Cache hit/miss/eviction/in-flight counters, configured bounds,
+//	    and request/row totals, as JSON.
+//	GET /healthz
+//	    Liveness probe; 200 "ok".
+//
+// The process is safe to run indefinitely: the simulation cache is an
+// LRU bounded by -cache-entries and -cache-bytes (internal/simcache), so
+// arbitrary client sweeps recycle memory instead of growing the process,
+// while in-flight simulations are never evicted and repeated identical
+// sweeps stay cache hits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/simcache"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	entries := flag.Int("cache-entries", 4096, "simulation cache entry bound (0 = unbounded)")
+	bytes := flag.Int64("cache-bytes", 256<<20, "simulation cache approximate byte bound (0 = unbounded)")
+	workers := flag.Int("j", 0, "concurrent simulations (0 = all cores)")
+	traceLen := flag.Int("tracelen", 0, "default per-thread trace length (specs may override via base.traceLen)")
+	maxBody := flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
+	maxCells := flag.Int64("max-cells", 4096, "maximum grid cells (workloads x combos) per request (0 = unbounded)")
+	flag.Parse()
+
+	opt := experiments.Default()
+	if *traceLen > 0 {
+		opt.TraceLen = *traceLen
+	}
+	opt.Workers = *workers
+	opt.CacheEntries = *entries
+	opt.CacheBytes = *bytes
+
+	srv, err := newServer(opt, *maxBody)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv.maxCells = *maxCells
+	log.Printf("smtsimd listening on %s (cache bounds: %d entries, %d bytes)", *addr, *entries, *bytes)
+	// No WriteTimeout: NDJSON responses legitimately stream for as long
+	// as a sweep simulates. Header and idle timeouts still bound what a
+	// stalled or idle client can pin.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Fatal(hs.ListenAndServe())
+}
+
+// server is the daemon state: one experiment session (worker pool +
+// bounded simulation cache) shared by every request, plus serving
+// counters for /v1/metrics.
+type server struct {
+	session  *experiments.Session
+	maxBody  int64
+	maxCells int64
+
+	requests atomic.Uint64 // scenario requests accepted
+	failures atomic.Uint64 // scenario requests that did not complete
+	rows     atomic.Uint64 // reduced rows served
+}
+
+// newServer builds the daemon around a fresh session.
+func newServer(opt experiments.Options, maxBody int64) (*server, error) {
+	s, err := experiments.NewSession(opt)
+	if err != nil {
+		return nil, fmt.Errorf("smtsimd: %w", err)
+	}
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
+	return &server{session: s, maxBody: maxBody, maxCells: 4096}, nil
+}
+
+// handler routes the three endpoints.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/scenario", s.handleScenario)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// handleScenario validates and executes one sweep.
+func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST a scenario spec"))
+		return
+	}
+	sp, err := scenario.Parse(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Pre-flight the full grid: an invalid machine configuration or an
+	// oversized cross-product is the client's error and must be a 400,
+	// not a mid-stream failure line (or a daemon-sized allocation).
+	ws, err := sp.Workloads.Select()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.maxCells > 0 {
+		cells := int64(len(ws))
+		over := cells > s.maxCells
+		for _, ax := range sp.Axes {
+			cells *= int64(len(ax.Points))
+			if over = over || cells > s.maxCells; over {
+				break // stop before the product can overflow
+			}
+		}
+		if over {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("scenario %s: grid has more than %d cells", sp.Name, s.maxCells))
+			return
+		}
+	}
+	if _, err := sp.Combos(s.session.BaseConfig()); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = sp.Format
+	}
+	if format == "" {
+		format = "ndjson"
+	}
+	switch format {
+	case "ndjson", "table", "json", "csv":
+	default:
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown format %q (valid: ndjson, table, json, csv)", format))
+		return
+	}
+	s.requests.Add(1)
+
+	if format == "ndjson" {
+		s.streamScenario(w, sp)
+		return
+	}
+	// Buffered formats complete the sweep before the first byte, so a
+	// simulation failure can still surface as a clean 500.
+	rs, err := s.session.RunScenario(sp)
+	if err != nil {
+		s.failures.Add(1)
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.rows.Add(uint64(len(rs.Rows)))
+	switch format {
+	case "table":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+	}
+	if err := rs.Emit(w, format); err != nil {
+		s.failures.Add(1)
+	}
+}
+
+// streamScenario writes NDJSON rows as grid cells complete. The status
+// line goes out before the sweep finishes, so a mid-sweep simulation
+// failure is reported as a terminal {"error"} line instead of a 500.
+func (s *server) streamScenario(w http.ResponseWriter, sp *scenario.Spec) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := scenario.NewRowEncoder(w, sp)
+	flusher, _ := w.(http.Flusher)
+	_, err := scenario.ExecuteStream(s.session, sp, func(row scenario.Row) error {
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+		s.rows.Add(1)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		s.failures.Add(1)
+		json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	}
+}
+
+// metricsDoc is the /v1/metrics wire shape.
+type metricsDoc struct {
+	Cache    simcache.Stats `json:"cache"`
+	Requests uint64         `json:"requests"`
+	Failures uint64         `json:"failures"`
+	Rows     uint64         `json:"rows"`
+}
+
+// handleMetrics reports cache effectiveness and serving counters.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(metricsDoc{
+		Cache:    s.session.CacheStats(),
+		Requests: s.requests.Load(),
+		Failures: s.failures.Load(),
+		Rows:     s.rows.Load(),
+	})
+}

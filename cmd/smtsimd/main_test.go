@@ -1,0 +1,258 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+// testSpec is a small two-axis sweep touching two workloads; traceLen and
+// seed are pinned in the spec so results do not depend on daemon options.
+const testSpec = `{
+  "name": "daemon-test",
+  "workloads": {"adhoc": ["art+mcf", "gzip+bzip2"]},
+  "base": {"traceLen": 1500, "maxCycles": 2000000, "seed": 7},
+  "axes": [
+    {"name": "rob", "points": [
+      {"label": "64", "delta": {"robSize": 64}},
+      {"label": "128", "delta": {"robSize": 128}}
+    ]}
+  ],
+  "metrics": ["throughput", "l2mpki"]
+}`
+
+// testOptions keeps daemon tests fast.
+func testOptions() experiments.Options {
+	o := experiments.Quick()
+	o.TraceLen = 1500
+	return o
+}
+
+// newTestServer starts an httptest daemon over the given options.
+func newTestServer(t *testing.T, opt experiments.Options) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(opt, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends a scenario and returns status and body.
+func post(t *testing.T, url, spec string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, testOptions())
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+}
+
+func TestScenarioBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, testOptions())
+	for name, tc := range map[string]struct {
+		url, body string
+		want      int
+	}{
+		"malformed JSON":  {ts.URL + "/v1/scenario", "{", http.StatusBadRequest},
+		"unknown field":   {ts.URL + "/v1/scenario", `{"name":"x","bogus":1}`, http.StatusBadRequest},
+		"missing name":    {ts.URL + "/v1/scenario", `{}`, http.StatusBadRequest},
+		"unknown bench":   {ts.URL + "/v1/scenario", `{"name":"x","workloads":{"adhoc":["nope"]}}`, http.StatusBadRequest},
+		"unknown format":  {ts.URL + "/v1/scenario?format=xml", testSpec, http.StatusBadRequest},
+		"oversized combo": {ts.URL + "/v1/scenario", `{"name":"x","axes":[{"name":"a","points":[{"delta":{"robSize":0}}]}],"base":{"robSize":-1}}`, http.StatusBadRequest},
+	} {
+		status, body := post(t, tc.url, tc.body)
+		if status != tc.want {
+			t.Errorf("%s: status = %d (body %s), want %d", name, status, body, tc.want)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: body %q is not a JSON error", name, body)
+		}
+	}
+	if method, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/scenario", nil); method != nil {
+		resp, err := http.DefaultClient.Do(method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /v1/scenario status = %d, want 405", resp.StatusCode)
+		}
+	}
+}
+
+// TestGridBound: a cross-product beyond the cell bound is rejected up
+// front, before any simulation or grid allocation.
+func TestGridBound(t *testing.T) {
+	s, ts := newTestServer(t, testOptions())
+	s.maxCells = 3
+	status, body := post(t, ts.URL+"/v1/scenario", testSpec) // 2 workloads x 2 combos = 4 cells
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d (body %s), want 400", status, body)
+	}
+	if !strings.Contains(string(body), "more than 3 cells") {
+		t.Errorf("body %s does not name the cell bound", body)
+	}
+	// A spec with no axes is still bounded: its cell count is its
+	// workload count.
+	noAxes := `{"name":"x","workloads":{"adhoc":["A/art+mcf","B/art+mcf","C/art+mcf","D/art+mcf"]}}`
+	if status, body := post(t, ts.URL+"/v1/scenario", noAxes); status != http.StatusBadRequest {
+		t.Errorf("no-axes spec: status = %d (body %s), want 400", status, body)
+	}
+}
+
+// TestNDJSONMatchesInProcess locks the daemon's default streaming format
+// to the engine's own serialization: the streamed body must be
+// bit-identical to rendering the same sweep in process.
+func TestNDJSONMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	_, ts := newTestServer(t, testOptions())
+	status, body := post(t, ts.URL+"/v1/scenario", testSpec)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+
+	sp, err := scenario.Parse(strings.NewReader(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := experiments.NewSession(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sess.RunScenario(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := rs.WriteNDJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Errorf("streamed NDJSON differs from in-process render:\ngot:\n%s\nwant:\n%s", body, want.Bytes())
+	}
+	if n := bytes.Count(body, []byte("\n")); n != 4 {
+		t.Errorf("row count = %d, want 4 (2 workloads x 2 combos)", n)
+	}
+}
+
+// TestResponseDeterministicAcrossWorkers is the service-level determinism
+// contract: daemons over Workers=1 and Workers=GOMAXPROCS sessions return
+// byte-identical bodies in every format, including concurrent requests
+// against one daemon (run under -race in CI).
+func TestResponseDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	oSeq := testOptions()
+	oSeq.Workers = 1
+	oPar := testOptions()
+	oPar.Workers = runtime.GOMAXPROCS(0)
+	// A tight entry bound on the parallel daemon forces evictions during
+	// the sweep; responses must not change.
+	oPar.CacheEntries = 3
+	_, seq := newTestServer(t, oSeq)
+	par, parTS := newTestServer(t, oPar)
+
+	for _, format := range []string{"ndjson", "table", "json", "csv"} {
+		url := "/v1/scenario?format=" + format
+		status, want := post(t, seq.URL+url, testSpec)
+		if status != http.StatusOK {
+			t.Fatalf("%s: sequential status = %d, body %s", format, status, want)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				status, got := post(t, parTS.URL+url, testSpec)
+				if status != http.StatusOK {
+					t.Errorf("%s: parallel status = %d, body %s", format, status, got)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s: parallel daemon response differs from sequential:\ngot:\n%s\nwant:\n%s",
+						format, got, want)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if st := par.session.CacheStats(); st.Evictions == 0 {
+		t.Errorf("cache stats %+v: want evictions > 0 under a 3-entry bound", st)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	s, ts := newTestServer(t, testOptions())
+	if status, body := post(t, ts.URL+"/v1/scenario", testSpec); status != http.StatusOK {
+		t.Fatalf("scenario status = %d, body %s", status, body)
+	}
+	// A repeat of the same sweep must be pure cache hits.
+	before := s.session.CacheStats()
+	if status, _ := post(t, ts.URL+"/v1/scenario", testSpec); status != http.StatusOK {
+		t.Fatal("second scenario request failed")
+	}
+	after := s.session.CacheStats()
+	if after.Misses != before.Misses {
+		t.Errorf("repeat sweep added %d misses, want 0", after.Misses-before.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Errorf("repeat sweep added no hits: %+v -> %+v", before, after)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc metricsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Requests != 2 || doc.Failures != 0 {
+		t.Errorf("metrics = %+v, want 2 requests / 0 failures", doc)
+	}
+	if doc.Rows != 8 {
+		t.Errorf("metrics rows = %d, want 8 (2 sweeps x 4 rows)", doc.Rows)
+	}
+	if doc.Cache.Misses == 0 || doc.Cache.Hits == 0 {
+		t.Errorf("cache stats %+v: want both misses and hits", doc.Cache)
+	}
+}

@@ -42,6 +42,23 @@
 // themselves Spec instances plus their paper-specific reductions, with
 // golden tests (internal/experiments/testdata) locking their text output.
 //
+// The engine is also served as a long-running daemon, cmd/smtsimd: POST a
+// Spec to /v1/scenario and reduced rows stream back as NDJSON in a fixed
+// workload-major order as each grid cell's simulation completes (or
+// buffered as table/json/csv via ?format=); /v1/metrics reports cache
+// hit/miss/eviction/in-flight counters and /healthz answers liveness
+// probes. What makes the process safe to run indefinitely is
+// internal/simcache, the session's simulation cache: an LRU keyed by
+// (workload, core.Config.Canonical()) and bounded by entry count and
+// approximate result bytes (experiments.Options.CacheEntries/CacheBytes;
+// smtsimd's -cache-entries/-cache-bytes; 0 = unbounded, the CLI default),
+// with the singleflight contract preserved — duplicate requests join one
+// computation, in-flight simulations are never evicted, and eviction only
+// ever costs recomputation because every simulation is deterministic.
+// cmd/smtload is the proof harness: it fires N concurrent seeded sweep
+// requests at a live daemon and asserts each response is bit-identical to
+// a sequential in-process run of the same spec.
+//
 // Start with README.md for a tour, DESIGN.md for the architecture and the
 // substitutions made for unavailable artifacts, and EXPERIMENTS.md for the
 // measured-versus-published comparison of every table and figure.

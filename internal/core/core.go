@@ -18,7 +18,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/rescontrol"
 	"repro/internal/runahead"
-	"repro/internal/singleflight"
+	"repro/internal/simcache"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -340,16 +340,18 @@ func RunSingle(cfg Config, benchmark string) (*Result, error) {
 // retry could never succeed.
 type STCache struct {
 	cfg Config
-	g   singleflight.Group[string, float64]
+	g   *simcache.Cache[string, float64]
 }
 
-// NewSTCache builds a cache for the given machine configuration.
+// NewSTCache builds a cache for the given machine configuration. The
+// cache is unbounded: its key space is the 24-benchmark table, not
+// untrusted input.
 func NewSTCache(cfg Config) *STCache {
-	return &STCache{cfg: cfg}
+	return &STCache{cfg: cfg, g: simcache.New[string, float64](0, 0, nil)}
 }
 
 // compute runs the reference simulation and publishes its result.
-func (s *STCache) compute(benchmark string, c *singleflight.Call[float64]) {
+func (s *STCache) compute(benchmark string, c *simcache.Call[float64]) {
 	res, err := RunSingle(s.cfg, benchmark)
 	if err != nil {
 		c.Fulfill(0, err)
@@ -362,7 +364,7 @@ func (s *STCache) compute(benchmark string, c *singleflight.Call[float64]) {
 // memoizing it on first use. Concurrent callers for the same benchmark
 // block until the one computation finishes.
 func (s *STCache) IPC(benchmark string) (float64, error) {
-	c, created := s.g.Entry(benchmark)
+	c, created := s.g.Begin(benchmark)
 	if created {
 		s.compute(benchmark, c)
 	}
@@ -374,7 +376,7 @@ func (s *STCache) IPC(benchmark string) (float64, error) {
 // when the reference is already computed or in flight. Worker pools use it
 // to avoid parking a pool slot on a run some other worker owns.
 func (s *STCache) Begin(benchmark string) func() {
-	c, created := s.g.Entry(benchmark)
+	c, created := s.g.Begin(benchmark)
 	if !created {
 		return nil
 	}

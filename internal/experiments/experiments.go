@@ -18,12 +18,13 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"unsafe"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/scenario"
-	"repro/internal/singleflight"
+	"repro/internal/simcache"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -48,6 +49,15 @@ type Options struct {
 	// deterministic and reductions run in a fixed order), so Workers only
 	// changes wall-clock time.
 	Workers int
+	// CacheEntries bounds the simulation result cache by entry count and
+	// CacheBytes by approximate retained result bytes (each 0 = unbounded,
+	// the right default for one-shot figure regeneration where every run
+	// may be re-read). Long-lived processes — the smtsimd daemon — set
+	// them so arbitrary client sweeps cannot grow the process without
+	// bound; in-flight simulations are never evicted, and eviction only
+	// costs recomputation (results are deterministic), never correctness.
+	CacheEntries int
+	CacheBytes   int64
 }
 
 // Default returns the full-suite options.
@@ -102,7 +112,7 @@ type Session struct {
 	opt   Options
 	base  core.Config
 	sem   chan struct{} // worker pool slots
-	cache singleflight.Group[runKey, *core.Result]
+	cache *simcache.Cache[runKey, *core.Result]
 }
 
 // NewSession builds a session, validating the workload selection up
@@ -134,11 +144,31 @@ func NewSession(opt Options) (*Session, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Session{
-		opt:  opt,
-		base: base,
-		sem:  make(chan struct{}, workers),
+		opt:   opt,
+		base:  base,
+		sem:   make(chan struct{}, workers),
+		cache: simcache.New[runKey, *core.Result](opt.CacheEntries, opt.CacheBytes, resultBytes),
 	}, nil
 }
+
+// resultBytes approximates the retained size of one cached simulation
+// result for the cache's byte bound: the Result struct plus its
+// per-thread slice and benchmark name payloads.
+func resultBytes(r *core.Result) int64 {
+	if r == nil {
+		return 0
+	}
+	n := int64(unsafe.Sizeof(*r)) + int64(len(r.Workload))
+	n += int64(len(r.Threads)) * int64(unsafe.Sizeof(core.ThreadResult{}))
+	for i := range r.Threads {
+		n += int64(len(r.Threads[i].Benchmark))
+	}
+	return n
+}
+
+// CacheStats snapshots the simulation cache's hit/miss/eviction counters
+// and current population (the smtsimd /v1/metrics payload).
+func (s *Session) CacheStats() simcache.Stats { return s.cache.Stats() }
 
 // BaseConfig returns the configuration scenario deltas apply onto: the
 // Table 1 machine scaled by this session's Options.
@@ -158,9 +188,9 @@ func (s *Session) dispatch(fn func()) {
 // complete configuration, returning its call immediately. The simulation
 // itself executes on the worker pool; only the first requester of a key
 // occupies a slot.
-func (s *Session) StartRun(w workload.Workload, cfg core.Config) *singleflight.Call[*core.Result] {
+func (s *Session) StartRun(w workload.Workload, cfg core.Config) *simcache.Call[*core.Result] {
 	key := runKey{workload: w.Name(), config: cfg.Canonical()}
-	c, created := s.cache.Entry(key)
+	c, created := s.cache.Begin(key)
 	if !created {
 		return c
 	}

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"bytes"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -66,6 +69,126 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 	if !reflect.DeepEqual(sr, pr) {
 		t.Errorf("raw Result diverges for %s:\nseq: %+v\npar: %+v", w.Name(), sr, pr)
+	}
+}
+
+// sweepSpec is a small two-axis scenario used by the determinism tests;
+// fairness pulls single-thread references through the cache as well.
+func sweepSpec() *scenario.Spec {
+	rat, icount := "RaT", "ICOUNT"
+	rob128, rob256 := 128, 256
+	return &scenario.Spec{
+		Name:      "determinism-sweep",
+		Workloads: scenario.WorkloadSpec{Groups: []string{"MEM2"}, PerGroup: 2},
+		Axes: []scenario.Axis{
+			{Name: "policy", Points: []scenario.Point{
+				{Label: icount, Delta: scenario.Delta{Policy: &icount}},
+				{Label: rat, Delta: scenario.Delta{Policy: &rat}},
+			}},
+			{Name: "rob", Points: []scenario.Point{
+				{Label: "128", Delta: scenario.Delta{ROBSize: &rob128}},
+				{Label: "256", Delta: scenario.Delta{ROBSize: &rob256}},
+			}},
+		},
+		Metrics: []string{"throughput", "fairness"},
+	}
+}
+
+// emitAll renders a result set in every machine format, concatenated.
+func emitAll(t *testing.T, rs *scenario.ResultSet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, format := range []string{"ndjson", "json", "csv", "table"} {
+		if err := rs.Emit(&buf, format); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestScenarioDeterministicAcrossWorkers extends the determinism
+// contract to the scenario engine's structured output: a ResultSet (and
+// every serialization of it — the bytes an smtsimd client receives) is
+// identical for Workers=1 and Workers=GOMAXPROCS.
+func TestScenarioDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	o := tinyOptions()
+	oSeq := o
+	oSeq.Workers = 1
+	oPar := o
+	oPar.Workers = runtime.GOMAXPROCS(0)
+
+	seqRS, err := mustSession(t, oSeq).RunScenario(sweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRS, err := mustSession(t, oPar).RunScenario(sweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqRS.Rows, parRS.Rows) {
+		t.Errorf("ResultSet rows diverge between Workers=1 and Workers=%d", oPar.Workers)
+	}
+	seq, par := emitAll(t, seqRS), emitAll(t, parRS)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("serialized output diverges between Workers=1 and Workers=%d:\nseq:\n%s\npar:\n%s",
+			oPar.Workers, seq, par)
+	}
+}
+
+// TestEvictionMidSweepDeterminism runs the same sweep on a session whose
+// cache bound is far below the sweep's working set, so completed entries
+// are evicted while later cells (and the fairness references re-reading
+// shared configurations) are still in flight. Eviction must only cost
+// recomputation: the output stays byte-identical to an unbounded run,
+// and the stats prove the eviction path actually executed mid-sweep.
+func TestEvictionMidSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	o := tinyOptions()
+	o.Workers = 4
+
+	unbounded := mustSession(t, o)
+	want, err := unbounded.RunScenario(sweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := unbounded.CacheStats(); st.Evictions != 0 {
+		t.Fatalf("unbounded session evicted: %+v", st)
+	}
+
+	oBound := o
+	oBound.CacheEntries = 2
+	bounded := mustSession(t, oBound)
+	got, err := bounded.RunScenario(sweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := bounded.CacheStats()
+	if st.Evictions == 0 {
+		t.Fatalf("2-entry bound produced no evictions mid-sweep: %+v", st)
+	}
+	if st.Entries > 2+st.InFlight {
+		t.Errorf("cache exceeded its bound at rest: %+v", st)
+	}
+	if !bytes.Equal(emitAll(t, want), emitAll(t, got)) {
+		t.Error("bounded-cache sweep output diverges from unbounded sweep")
+	}
+
+	// A second pass over the evicted grid recomputes (misses grow) but
+	// still reproduces the identical bytes.
+	again, err := bounded.RunScenario(sweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(emitAll(t, want), emitAll(t, again)) {
+		t.Error("post-eviction recomputation diverges")
+	}
+	if st2 := bounded.CacheStats(); st2.Misses <= st.Misses {
+		t.Errorf("second sweep over a 2-entry cache added no misses: %+v -> %+v", st, st2)
 	}
 }
 

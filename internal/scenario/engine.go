@@ -7,7 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/report"
-	"repro/internal/singleflight"
+	"repro/internal/simcache"
 	"repro/internal/workload"
 )
 
@@ -22,7 +22,7 @@ type Runner interface {
 	BaseConfig() core.Config
 	// StartRun schedules (or joins) one simulation without blocking and
 	// returns its pending call.
-	StartRun(w workload.Workload, cfg core.Config) *singleflight.Call[*core.Result]
+	StartRun(w workload.Workload, cfg core.Config) *simcache.Call[*core.Result]
 	// StartReference schedules (or joins) the single-thread reference run
 	// the fairness metric needs — the benchmark alone on the given machine
 	// under the baseline policy — without blocking.
@@ -161,6 +161,17 @@ func (rs *ResultSet) Value(wi, ci, mi int) float64 {
 // runner's pool, and reduces the results in a fixed order — so output is
 // bit-identical for any worker count.
 func Execute(r Runner, sp *Spec) (*ResultSet, error) {
+	return ExecuteStream(r, sp, nil)
+}
+
+// ExecuteStream is Execute with a streaming hook: when emit is non-nil it
+// receives each reduced Row in fixed grid order (workload-major) as soon
+// as the row's simulation completes, before the full set is assembled —
+// the smtsimd daemon uses it to stream NDJSON while later cells are still
+// simulating. The row order, and therefore any serialization of the
+// stream, is identical for any worker count. A non-nil error from emit
+// aborts the sweep.
+func ExecuteStream(r Runner, sp *Spec, emit func(Row) error) (*ResultSet, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
@@ -182,9 +193,9 @@ func Execute(r Runner, sp *Spec) (*ResultSet, error) {
 
 	// Dispatch the whole grid (plus references, when a metric reads them)
 	// before collecting anything, so the pool stays saturated.
-	calls := make([][]*singleflight.Call[*core.Result], len(ws))
+	calls := make([][]*simcache.Call[*core.Result], len(ws))
 	for wi, w := range ws {
-		calls[wi] = make([]*singleflight.Call[*core.Result], len(combos))
+		calls[wi] = make([]*simcache.Call[*core.Result], len(combos))
 		for ci, combo := range combos {
 			calls[wi][ci] = r.StartRun(w, combo.Config)
 		}
@@ -228,6 +239,11 @@ func Execute(r Runner, sp *Spec) (*ResultSet, error) {
 				}
 				row.Values[mi] = v
 			}
+			if emit != nil {
+				if err := emit(row); err != nil {
+					return nil, fmt.Errorf("scenario %s: emit: %w", sp.Name, err)
+				}
+			}
 			rs.Rows = append(rs.Rows, row)
 		}
 	}
@@ -268,7 +284,8 @@ func (rs *ResultSet) WriteJSON(w io.Writer) error { return rs.Dataset().WriteJSO
 func (rs *ResultSet) WriteCSV(w io.Writer) error { return rs.Dataset().WriteCSV(w) }
 
 // Emit writes the result set in the named format ("table", "json",
-// "csv"; empty falls back to the spec default resolved by the caller).
+// "csv", "ndjson"; empty falls back to the spec default resolved by the
+// caller).
 func (rs *ResultSet) Emit(w io.Writer, format string) error {
 	switch format {
 	case "", "table":
@@ -278,6 +295,8 @@ func (rs *ResultSet) Emit(w io.Writer, format string) error {
 		return rs.WriteJSON(w)
 	case "csv":
 		return rs.WriteCSV(w)
+	case "ndjson":
+		return rs.WriteNDJSON(w)
 	}
-	return fmt.Errorf("scenario: unknown format %q (valid: table, json, csv)", format)
+	return fmt.Errorf("scenario: unknown format %q (valid: table, json, csv, ndjson)", format)
 }

@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// loadExamples parses every shipped example sweep.
+func loadExamples(t *testing.T) map[string]*Spec {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example scenarios found: %v", err)
+	}
+	out := map[string]*Spec{}
+	for _, p := range paths {
+		sp, err := Load(p)
+		if err != nil {
+			t.Fatalf("shipped example does not load: %v", err)
+		}
+		out[p] = sp
+	}
+	return out
+}
+
+// TestShippedSweepFingerprintsCollisionFree expands every cell of every
+// shipped example sweep and checks the cache-key contract on the real
+// grids users run: a fingerprint is shared only by identical canonical
+// configurations, so no two distinct machine points of any shipped sweep
+// can ever alias in output labelling (and their canonical cache keys
+// cannot alias at all).
+func TestShippedSweepFingerprintsCollisionFree(t *testing.T) {
+	byFingerprint := map[string]string{} // fingerprint -> canonical
+	cells := 0
+	for path, sp := range loadExamples(t) {
+		combos, err := sp.Combos(core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		ws, err := sp.Workloads.Select()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		cells += len(ws) * len(combos)
+		for _, c := range combos {
+			canon := c.Config.Canonical()
+			if c.Fingerprint != c.Config.Fingerprint() {
+				t.Fatalf("%s: combo %v fingerprint not reproducible", path, c.Labels)
+			}
+			if prev, ok := byFingerprint[c.Fingerprint]; ok && prev != canon {
+				t.Fatalf("%s: fingerprint %s collides across distinct configs:\n%s\n%s",
+					path, c.Fingerprint, prev, canon)
+			}
+			byFingerprint[c.Fingerprint] = canon
+		}
+	}
+	if cells == 0 {
+		t.Fatal("shipped sweeps expand to zero cells")
+	}
+	t.Logf("%d cells, %d distinct configurations", cells, len(byFingerprint))
+}

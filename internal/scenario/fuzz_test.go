@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzSpecJSON is the contract of the spec-parsing surface — the exact
+// bytes an smtsimd client controls: any input either returns an error or
+// a fully validated Spec; it never panics, and an accepted spec survives
+// re-validation, workload expansion, a JSON round-trip, and (bounded)
+// grid expansion.
+func FuzzSpecJSON(f *testing.F) {
+	// Seed with the shipped example sweeps plus structural edge cases.
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("no example scenario seeds found: %v", err)
+	}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	for _, seed := range []string{
+		`{}`,
+		`{"name":"x"}`,
+		`{"name":"x","axes":[]}`,
+		`{"name":"x","axes":[{"name":"a","points":[{"delta":{}}]}]}`,
+		`{"name":"x","axes":[{"name":"a","points":[{"delta":{"robSize":-1}}]}]}`,
+		`{"name":"x","workloads":{"adhoc":["art+mcf"]},"metrics":["nope"]}`,
+		`{"name":"x","workloads":{"groups":["MEM2"],"perGroup":-1}}`,
+		`{"name":"x","format":"ndjson","base":{"seed":18446744073709551615}}`,
+		`{"name":"x","axes":[{"name":"workload","points":[{"delta":{}}]}]}`,
+		`[1,2,3]`,
+		`null`,
+		`"str"`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			if sp != nil {
+				t.Fatalf("Parse returned both a spec and an error: %v", err)
+			}
+			return
+		}
+		// Accepted specs must be stable under re-validation and expansion.
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("accepted spec fails re-validation: %v", err)
+		}
+		ws, err := sp.Workloads.Select()
+		if err != nil || len(ws) == 0 {
+			t.Fatalf("accepted spec has no expandable workloads: %v", err)
+		}
+		// A JSON round-trip of the parsed spec must parse again: the spec
+		// is also the daemon's wire format (smtload marshals Specs).
+		re, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		if _, err := Parse(bytes.NewReader(re)); err != nil {
+			t.Fatalf("accepted spec does not round-trip: %v\n%s", err, re)
+		}
+		// Grid expansion must not panic. Errors are fine (a delta can
+		// describe an invalid machine); unbounded growth is not, so skip
+		// cross-products beyond the daemon's own cell bound.
+		cells := 1
+		for _, ax := range sp.Axes {
+			cells *= len(ax.Points)
+			if cells > 4096 {
+				return
+			}
+		}
+		if combos, err := sp.Combos(core.DefaultConfig()); err == nil {
+			seen := map[string]bool{}
+			for _, c := range combos {
+				if c.Fingerprint == "" {
+					t.Fatal("combo with empty fingerprint")
+				}
+				seen[c.Fingerprint] = true
+			}
+			_ = seen
+		}
+	})
+}

@@ -273,8 +273,9 @@ type Spec struct {
 	// Metrics are the reductions per (workload, configuration) cell; see
 	// MetricNames. Empty selects ["throughput"].
 	Metrics []string `json:"metrics,omitempty"`
-	// Format is the default output format: "table" (default), "json", or
-	// "csv". The -format flag overrides it.
+	// Format is the default output format: "table" (default), "json",
+	// "csv", or "ndjson" (one JSON object per row; smtsimd's streaming
+	// format). The -format flag and the daemon's ?format= override it.
 	Format string `json:"format,omitempty"`
 }
 
@@ -293,10 +294,19 @@ func (sp *Spec) Validate() error {
 	if sp.Name == "" {
 		return fmt.Errorf("scenario: missing name")
 	}
+	// Axis names become output columns (and NDJSON object keys) next to
+	// the fixed columns and the metric columns, so they must not collide.
+	reserved := map[string]bool{"workload": true, "truncated": true, "config": true}
+	for _, m := range sp.metrics() {
+		reserved[m] = true
+	}
 	seen := map[string]bool{}
 	for i, ax := range sp.Axes {
 		if ax.Name == "" {
 			return fmt.Errorf("scenario %s: axis %d has no name", sp.Name, i)
+		}
+		if reserved[ax.Name] {
+			return fmt.Errorf("scenario %s: axis %q collides with an output column", sp.Name, ax.Name)
 		}
 		if seen[ax.Name] {
 			return fmt.Errorf("scenario %s: duplicate axis %q", sp.Name, ax.Name)
@@ -321,9 +331,9 @@ func (sp *Spec) Validate() error {
 		}
 	}
 	switch sp.Format {
-	case "", "table", "json", "csv":
+	case "", "table", "json", "csv", "ndjson":
 	default:
-		return fmt.Errorf("scenario %s: unknown format %q (valid: table, json, csv)", sp.Name, sp.Format)
+		return fmt.Errorf("scenario %s: unknown format %q (valid: table, json, csv, ndjson)", sp.Name, sp.Format)
 	}
 	return nil
 }

@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// RowEncoder serializes reduced rows as NDJSON: one JSON object per line,
+// keyed exactly like the rows of the buffered JSON document — "workload",
+// one key per axis (the point label), one per metric (the value),
+// "truncated" and "config". Keys render in sorted order (encoding/json
+// map order), so the byte stream is fully deterministic: a streamed
+// smtsimd response is bit-identical to encoding the same ResultSet after
+// the fact, whatever the worker count.
+type RowEncoder struct {
+	axes    []string
+	metrics []string
+	enc     *json.Encoder
+}
+
+// NewRowEncoder builds an encoder for rows produced by sp.
+func NewRowEncoder(w io.Writer, sp *Spec) *RowEncoder {
+	return &RowEncoder{axes: sp.AxisNames(), metrics: sp.metrics(), enc: json.NewEncoder(w)}
+}
+
+// Encode writes one row as a single JSON line.
+func (e *RowEncoder) Encode(row Row) error {
+	obj := make(map[string]any, len(e.axes)+len(e.metrics)+3)
+	obj["workload"] = row.Workload
+	for i, a := range e.axes {
+		obj[a] = row.Labels[i]
+	}
+	for i, m := range e.metrics {
+		obj[m] = row.Values[i]
+	}
+	obj["truncated"] = row.Truncated
+	obj["config"] = row.Fingerprint
+	return e.enc.Encode(obj)
+}
+
+// WriteNDJSON emits the result set as NDJSON rows, byte-identical to
+// streaming the same rows through a RowEncoder during execution.
+func (rs *ResultSet) WriteNDJSON(w io.Writer) error {
+	e := &RowEncoder{axes: rs.Axes, metrics: rs.Metrics, enc: json.NewEncoder(w)}
+	for _, row := range rs.Rows {
+		if err := e.Encode(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+// Package simcache is the simulation result cache behind the experiment
+// session and the smtsimd daemon: a singleflight-deduplicating LRU with
+// configurable entry-count and approximate-byte bounds.
+//
+// It replaces the former internal/singleflight package, whose memoizing
+// Group grew without bound for the life of the process — fine for a
+// one-shot CLI regenerating figures, fatal for a long-running service
+// sweeping arbitrary client scenarios. The singleflight contract is
+// unchanged: the first requester of a key computes its value, every
+// concurrent requester joins that computation, and a completed result is
+// served from cache until evicted. Two properties make eviction safe
+// under that contract:
+//
+//   - In-flight calls are never evicted. A computation some goroutine
+//     owns (and others wait on) always stays registered, so one key never
+//     has two concurrent computations and Fulfill always finds its entry.
+//     The entry bound may therefore be exceeded transiently when more
+//     calls are in flight than the cache admits entries.
+//   - Eviction only forgets, it never invalidates. Waiters hold the
+//     *Call pointer itself; a call evicted after completion still serves
+//     its value to anyone who already held it. Re-requesting an evicted
+//     key simply recomputes — results are deterministic, so the recomputed
+//     value is the value that was evicted.
+//
+// Errors memoize like results while cached: an outcome is a pure function
+// of the key, so retrying a failed key could never succeed.
+package simcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of cache effectiveness, shaped for
+// direct JSON emission by the smtsimd /v1/metrics endpoint.
+type Stats struct {
+	// Hits counts Begin calls that joined an existing entry (completed or
+	// in flight); Misses counts calls that had to register a computation.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts completed entries dropped to respect the bounds.
+	Evictions uint64 `json:"evictions"`
+	// Entries and InFlight describe the current population; Bytes is the
+	// approximate retained result size reported by the size function.
+	Entries  int   `json:"entries"`
+	InFlight int   `json:"inflight"`
+	Bytes    int64 `json:"bytes"`
+	// MaxEntries and MaxBytes echo the configured bounds (0 = unbounded).
+	MaxEntries int   `json:"maxEntries"`
+	MaxBytes   int64 `json:"maxBytes"`
+}
+
+// Call is one key's in-flight or completed computation.
+type Call[V any] struct {
+	done   chan struct{}
+	val    V
+	err    error
+	settle func() // cache accounting hook, set by Begin; nil once settled
+}
+
+// Fulfill publishes the result, waking all waiters. The creator of the
+// call (the Begin caller that saw created=true) must call it exactly once.
+func (c *Call[V]) Fulfill(v V, err error) {
+	c.val, c.err = v, err
+	if c.settle != nil {
+		c.settle()
+		c.settle = nil
+	}
+	close(c.done)
+}
+
+// Wait blocks until Fulfill and returns the published result.
+func (c *Call[V]) Wait() (V, error) {
+	<-c.done
+	return c.val, c.err
+}
+
+// entry is one cache slot; it lives in both the LRU list and the key map.
+type entry[K comparable, V any] struct {
+	key      K
+	call     *Call[V]
+	inflight bool
+	bytes    int64
+}
+
+// Cache coordinates and retains calls keyed by K under LRU bounds.
+type Cache[K comparable, V any] struct {
+	maxEntries int
+	maxBytes   int64
+	sizeOf     func(V) int64
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	m        map[K]*list.Element
+	bytes    int64
+	inflight int
+	hits     uint64
+	misses   uint64
+	evicted  uint64
+}
+
+// New builds a cache. maxEntries bounds the number of retained entries
+// and maxBytes the approximate retained result bytes as measured by
+// sizeOf; zero disables the respective bound (and a nil sizeOf counts
+// every result as zero bytes, leaving only the entry bound active).
+func New[K comparable, V any](maxEntries int, maxBytes int64, sizeOf func(V) int64) *Cache[K, V] {
+	return &Cache[K, V]{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		sizeOf:     sizeOf,
+		ll:         list.New(),
+		m:          map[K]*list.Element{},
+	}
+}
+
+// Begin returns key's call, registering a new computation if absent.
+// created reports whether this caller registered the call and therefore
+// owns computing and Fulfilling it; all other callers just Wait. A hit
+// (created=false) marks the entry most recently used.
+func (c *Cache[K, V]) Begin(key K) (call *Call[V], created bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[K, V]).call, false
+	}
+	c.misses++
+	c.inflight++
+	e := &entry[K, V]{key: key, call: &Call[V]{done: make(chan struct{})}, inflight: true}
+	el := c.ll.PushFront(e)
+	c.m[key] = el
+	e.call.settle = func() { c.settle(el) }
+	return e.call, true
+}
+
+// settle runs inside Fulfill, before waiters wake: the entry becomes
+// evictable, its result bytes are accounted, and the bounds are enforced.
+func (c *Cache[K, V]) settle(el *list.Element) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := el.Value.(*entry[K, V])
+	e.inflight = false
+	c.inflight--
+	if c.sizeOf != nil && e.call.err == nil {
+		e.bytes = c.sizeOf(e.call.val)
+		c.bytes += e.bytes
+	}
+	c.evict()
+}
+
+// evict drops least-recently-used completed entries until both bounds
+// hold (or only in-flight entries remain). Caller holds mu.
+func (c *Cache[K, V]) evict() {
+	over := func() bool {
+		if c.maxEntries > 0 && c.ll.Len() > c.maxEntries {
+			return true
+		}
+		return c.maxBytes > 0 && c.bytes > c.maxBytes
+	}
+	for el := c.ll.Back(); el != nil && over(); {
+		prev := el.Prev()
+		if e := el.Value.(*entry[K, V]); !e.inflight {
+			c.ll.Remove(el)
+			delete(c.m, e.key)
+			c.bytes -= e.bytes
+			c.evicted++
+		}
+		el = prev
+	}
+}
+
+// Len returns the number of registered entries (in flight or completed).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (c *Cache[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evicted,
+		Entries:    c.ll.Len(),
+		InFlight:   c.inflight,
+		Bytes:      c.bytes,
+		MaxEntries: c.maxEntries,
+		MaxBytes:   c.maxBytes,
+	}
+}

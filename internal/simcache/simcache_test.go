@@ -1,0 +1,205 @@
+package simcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSingleComputationManyWaiters(t *testing.T) {
+	g := New[string, int](0, 0, nil)
+	var computed atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, created := g.Begin("k")
+			if created {
+				computed.Add(1)
+				c.Fulfill(42, nil)
+			}
+			v, err := c.Wait()
+			if v != 42 || err != nil {
+				t.Errorf("Wait = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computed.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	st := g.Stats()
+	if st.Misses != 1 || st.Hits != 31 {
+		t.Fatalf("stats = %+v, want 1 miss + 31 hits", st)
+	}
+}
+
+func TestErrorsMemoizedWhileCached(t *testing.T) {
+	g := New[int, string](0, 0, nil)
+	boom := errors.New("boom")
+	c, created := g.Begin(7)
+	if !created {
+		t.Fatal("first Begin not created")
+	}
+	c.Fulfill("", boom)
+	c2, created := g.Begin(7)
+	if created {
+		t.Fatal("second Begin re-created")
+	}
+	if _, err := c2.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// fill computes key -> val synchronously, returning whether it was a miss.
+func fill(t *testing.T, g *Cache[string, int], key string, val int) bool {
+	t.Helper()
+	c, created := g.Begin(key)
+	if created {
+		c.Fulfill(val, nil)
+	}
+	v, err := c.Wait()
+	if err != nil || v != val {
+		t.Fatalf("Wait(%q) = %d, %v; want %d", key, v, err, val)
+	}
+	return created
+}
+
+func TestEntryBoundEvictsLRU(t *testing.T) {
+	g := New[string, int](2, 0, nil)
+	fill(t, g, "a", 1)
+	fill(t, g, "b", 2)
+	fill(t, g, "a", 1) // touch a: b is now LRU
+	fill(t, g, "c", 3) // evicts b
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	if created := fill(t, g, "a", 1); created {
+		t.Error("a was evicted; want b (LRU) evicted")
+	}
+	if created := fill(t, g, "b", 2); !created {
+		t.Error("b survived; want b (LRU) evicted")
+	}
+	if st := g.Stats(); st.Evictions < 1 {
+		t.Errorf("stats = %+v, want evictions >= 1", st)
+	}
+}
+
+func TestByteBoundEvicts(t *testing.T) {
+	g := New[string, int](0, 100, func(v int) int64 { return int64(v) })
+	fill(t, g, "a", 60)
+	fill(t, g, "b", 60) // 120 bytes > 100: evicts a
+	st := g.Stats()
+	if st.Entries != 1 || st.Bytes != 60 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 1 entry / 60 bytes / 1 eviction", st)
+	}
+	if created := fill(t, g, "b", 60); created {
+		t.Error("b (just inserted) was evicted; want a")
+	}
+}
+
+// TestInFlightNeverEvicted pins the safety property eviction relies on:
+// a call some goroutine owns stays registered however far the bounds are
+// exceeded, so a key never has two concurrent computations.
+func TestInFlightNeverEvicted(t *testing.T) {
+	g := New[string, int](1, 0, nil)
+	slow, created := g.Begin("slow")
+	if !created {
+		t.Fatal("slow not created")
+	}
+	for i := 0; i < 8; i++ {
+		fill(t, g, fmt.Sprintf("k%d", i), i)
+	}
+	if st := g.Stats(); st.InFlight != 1 {
+		t.Fatalf("stats = %+v, want 1 in flight", st)
+	}
+	again, created := g.Begin("slow")
+	if created {
+		t.Fatal("in-flight call was evicted: second computation registered")
+	}
+	if again != slow {
+		t.Fatal("Begin returned a different call for an in-flight key")
+	}
+	slow.Fulfill(99, nil)
+	// Completing the over-bound in-flight entry trims back to the bound.
+	if n := g.Len(); n != 1 {
+		t.Fatalf("Len after settle = %d, want 1", n)
+	}
+	if v, err := again.Wait(); v != 99 || err != nil {
+		t.Fatalf("Wait = %d, %v", v, err)
+	}
+}
+
+// TestEvictedCallStillServesHolders: eviction forgets, it never
+// invalidates — a waiter holding the call reads its value regardless.
+func TestEvictedCallStillServesHolders(t *testing.T) {
+	g := New[string, int](1, 0, nil)
+	c, created := g.Begin("x")
+	if !created {
+		t.Fatal("x not created")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if v, err := c.Wait(); v != 5 || err != nil {
+			t.Errorf("late waiter: %d, %v", v, err)
+		}
+	}()
+	c.Fulfill(5, nil)
+	fill(t, g, "y", 6) // evicts x
+	<-done
+	if created := fill(t, g, "x", 5); !created {
+		t.Error("x still cached; want recomputed after eviction")
+	}
+}
+
+func TestUnboundedNeverEvicts(t *testing.T) {
+	g := New[int, int](0, 0, func(int) int64 { return 1 << 20 })
+	for i := 0; i < 256; i++ {
+		c, created := g.Begin(i)
+		if !created {
+			t.Fatalf("key %d already present", i)
+		}
+		c.Fulfill(i, nil)
+	}
+	st := g.Stats()
+	if st.Entries != 256 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 256 entries and no evictions", st)
+	}
+}
+
+// TestConcurrentChurn exercises eviction racing Begin/Fulfill under -race.
+func TestConcurrentChurn(t *testing.T) {
+	g := New[int, int](8, 0, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := (w*31 + i) % 40
+				c, created := g.Begin(key)
+				if created {
+					c.Fulfill(key*2, nil)
+				}
+				if v, err := c.Wait(); err != nil || v != key*2 {
+					t.Errorf("key %d: %d, %v", key, v, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := g.Len(); n > 8 {
+		t.Fatalf("Len = %d, want <= 8", n)
+	}
+	st := g.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("stats = %+v, want no in-flight calls", st)
+	}
+}

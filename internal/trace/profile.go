@@ -18,7 +18,11 @@
 // seed) pair always generates the identical trace.
 package trace
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // Class is the paper's benchmark classification, derived from the L2 miss
 // rate of the program running alone (§4).
@@ -325,12 +329,26 @@ func Lookup(name string) (Profile, bool) {
 	return p, ok
 }
 
-// MustLookup returns the profile for name or panics. Workload tables are
-// static data, so a missing profile is a programming error.
-func MustLookup(name string) Profile {
+// Find returns the profile for a SPEC benchmark name, reporting an
+// unknown name — which can arrive straight from a user's flag, scenario
+// file, or HTTP request — as an error listing the valid names, never a
+// panic.
+func Find(name string) (Profile, error) {
 	p, ok := profiles[name]
 	if !ok {
-		panic("trace: unknown benchmark " + name)
+		return Profile{}, fmt.Errorf("trace: unknown benchmark %q (valid benchmarks: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return p, nil
+}
+
+// MustLookup returns the profile for name or panics with Find's error.
+// Workload tables are static data, so a missing profile is a programming
+// error; dynamic lookups use Find (or Lookup) instead.
+func MustLookup(name string) Profile {
+	p, err := Find(name)
+	if err != nil {
+		panic(err)
 	}
 	return p
 }

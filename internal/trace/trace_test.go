@@ -2,6 +2,7 @@ package trace
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/isa"
@@ -16,10 +17,32 @@ func TestLookup(t *testing.T) {
 	}
 }
 
+// TestFindErrorListsValidNames: the error-returning lookup names every
+// valid benchmark, so a typo in a flag, scenario file or HTTP request is
+// self-correcting instead of a panic.
+func TestFindErrorListsValidNames(t *testing.T) {
+	if _, err := Find("mcf"); err != nil {
+		t.Fatalf("Find(mcf) = %v", err)
+	}
+	_, err := Find("nope")
+	if err == nil {
+		t.Fatal("Find on unknown benchmark returned no error")
+	}
+	for _, want := range []string{`"nope"`, "mcf", "wupwise"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Find error %q does not mention %s", err, want)
+		}
+	}
+}
+
 func TestMustLookupPanics(t *testing.T) {
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("MustLookup on unknown benchmark did not panic")
+		}
+		if err, ok := r.(error); !ok || !strings.Contains(err.Error(), "valid benchmarks") {
+			t.Fatalf("MustLookup panic %v does not carry Find's name-listing error", r)
 		}
 	}()
 	MustLookup("nope")
