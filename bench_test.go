@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -117,7 +118,7 @@ func BenchmarkTable2_WorkloadGeneration(b *testing.B) {
 func BenchmarkFig1_FetchPolicies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b, benchOptions())
-		f, err := s.Fig1()
+		f, err := s.Fig1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func BenchmarkFig1_FetchPolicies(b *testing.B) {
 func BenchmarkFig2_ResourcePolicies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b, benchOptions())
-		f, err := s.Fig2()
+		f, err := s.Fig2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func BenchmarkFig2_ResourcePolicies(b *testing.B) {
 func BenchmarkFig3_EnergyDelay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b, benchOptions())
-		f, err := s.Fig3()
+		f, err := s.Fig3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -161,7 +162,7 @@ func BenchmarkFig4_SourcesOfImprovement(b *testing.B) {
 	opts.Groups = []string{"MIX2", "MEM2"}
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b, opts)
-		f, err := s.Fig4()
+		f, err := s.Fig4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,7 +178,7 @@ func BenchmarkFig5_RegisterOccupancy(b *testing.B) {
 	opts.Groups = []string{"MEM2"}
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b, opts)
-		f, err := s.Fig5()
+		f, err := s.Fig5(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -194,7 +195,7 @@ func BenchmarkFig6_RegisterFileSweep(b *testing.B) {
 	opts.RegSizes = []int{64, 128, 320}
 	for i := 0; i < b.N; i++ {
 		s := benchSession(b, opts)
-		f, err := s.Fig6()
+		f, err := s.Fig6(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -20,10 +20,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -66,7 +70,17 @@ func main() {
 	}
 	opt.Workers = *workers
 
+	// Ctrl-C / SIGTERM cancels the session context: queued simulations are
+	// never started, running ones finish, and the harness exits promptly
+	// instead of completing the whole grid.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fail := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -100,7 +114,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		rs, err := s.RunScenario(sp)
+		rs, err := s.RunScenarioCtx(ctx, sp)
 		if err != nil {
 			fail(err)
 		}
@@ -128,6 +142,10 @@ func main() {
 		start := time.Now()
 		r, err := f()
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "experiments: interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -141,10 +159,10 @@ func main() {
 	if all || want == "table2" {
 		fmt.Println(experiments.Table2())
 	}
-	emit("fig1", func() (fmt.Stringer, error) { return s.Fig1() })
-	emit("fig2", func() (fmt.Stringer, error) { return s.Fig2() })
-	emit("fig3", func() (fmt.Stringer, error) { return s.Fig3() })
-	emit("fig4", func() (fmt.Stringer, error) { return s.Fig4() })
-	emit("fig5", func() (fmt.Stringer, error) { return s.Fig5() })
-	emit("fig6", func() (fmt.Stringer, error) { return s.Fig6() })
+	emit("fig1", func() (fmt.Stringer, error) { return s.Fig1(ctx) })
+	emit("fig2", func() (fmt.Stringer, error) { return s.Fig2(ctx) })
+	emit("fig3", func() (fmt.Stringer, error) { return s.Fig3(ctx) })
+	emit("fig4", func() (fmt.Stringer, error) { return s.Fig4(ctx) })
+	emit("fig5", func() (fmt.Stringer, error) { return s.Fig5(ctx) })
+	emit("fig6", func() (fmt.Stringer, error) { return s.Fig6(ctx) })
 }

@@ -10,12 +10,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -29,7 +34,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	regs := flag.Int("regs", 0, "override INT/FP physical register file size")
 	fair := flag.Bool("fairness", false, "also run single-thread references and report fairness")
-	workers := flag.Int("j", 0, "concurrent single-thread reference runs for -fairness (0 = all cores)")
+	workers := flag.Int("j", 0, "concurrent simulations (the -fairness reference runs; 0 = all cores)")
 	list := flag.Bool("list", false, "list benchmarks and policies, then exit")
 	flag.Parse()
 
@@ -64,10 +69,31 @@ func main() {
 		cfg.Pipeline.FPRegs = *regs
 	}
 
-	res, err := core.Run(cfg, w)
+	// The run executes through an experiments session — the same pool and
+	// cancellation machinery the figure harness and the daemon use — so
+	// Ctrl-C stops queued work (the -fairness reference runs) immediately
+	// and the -j bound covers everything this invocation simulates.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	opt := experiments.Default()
+	opt.Workers = *workers
+	sess, err := experiments.NewSession(opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	fail := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "smtsim: interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	res, err := sess.RunConfigCtx(ctx, w, cfg)
+	if err != nil {
+		fail(err)
 	}
 
 	fmt.Printf("workload %s under %s: %d cycles (measurement window)\n\n",
@@ -99,15 +125,19 @@ func main() {
 	}
 
 	if *fair {
-		st := core.NewSTCache(cfg)
-		if err := st.Prewarm(w.Benchmarks, *workers); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		// Queue every reference before waiting on any: the session pool
+		// runs up to -j of them concurrently, and a Ctrl-C abandons the
+		// ones no worker has picked up yet.
+		for _, b := range w.Benchmarks {
+			sess.StartReferenceCtx(ctx, b, cfg)
 		}
-		stv, err := st.STVector(w)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		stv := make([]float64, 0, len(w.Benchmarks))
+		for _, b := range w.Benchmarks {
+			v, err := sess.ReferenceCtx(ctx, b, cfg)
+			if err != nil {
+				fail(err)
+			}
+			stv = append(stv, v)
 		}
 		fmt.Printf("fairness (vs single-thread ICOUNT): %s\n",
 			report.F(metrics.Fairness(stv, res.IPCs())))

@@ -28,16 +28,29 @@
 // arbitrary client sweeps recycle memory instead of growing the process,
 // while in-flight simulations are never evicted and repeated identical
 // sweeps stay cache hits.
+//
+// Cancellation is first-class: every sweep executes under its request's
+// context, so a client that disconnects mid-sweep stops consuming the
+// shared worker pool — grid cells not yet started are never simulated
+// (they count in /v1/metrics as cache.canceled), while cells already
+// running finish and stay cached for the next request. Client
+// disconnects count under "canceled" in /v1/metrics, not "failures".
+// SIGINT/SIGTERM shut the daemon down gracefully: the listener closes,
+// in-flight responses drain up to -drain, then the process exits 0.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -53,6 +66,7 @@ func main() {
 	traceLen := flag.Int("tracelen", 0, "default per-thread trace length (specs may override via base.traceLen)")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
 	maxCells := flag.Int64("max-cells", 4096, "maximum grid cells (workloads x combos) per request (0 = unbounded)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline for in-flight responses")
 	flag.Parse()
 
 	opt := experiments.Default()
@@ -79,7 +93,28 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Fatal(hs.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	log.Printf("smtsimd: signal received; draining in-flight responses (deadline %v)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		// The drain deadline passed with responses still streaming: cut
+		// them off so the process cannot hang past its deadline.
+		log.Printf("smtsimd: drain deadline exceeded, closing: %v", err)
+		hs.Close()
+		os.Exit(1)
+	}
+	log.Printf("smtsimd: shutdown complete")
 }
 
 // server is the daemon state: one experiment session (worker pool +
@@ -91,7 +126,8 @@ type server struct {
 	maxCells int64
 
 	requests atomic.Uint64 // scenario requests accepted
-	failures atomic.Uint64 // scenario requests that did not complete
+	failures atomic.Uint64 // scenario requests that failed simulating
+	canceled atomic.Uint64 // scenario requests cut short by the client
 	rows     atomic.Uint64 // reduced rows served
 }
 
@@ -135,6 +171,14 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	}
 	sp, err := scenario.Parse(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
+		// An oversized body is its own condition (413), not a malformed
+		// spec (400): the client must shrink the request, not fix it.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", s.maxBody))
+			return
+		}
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -181,14 +225,22 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	}
 	s.requests.Add(1)
 
+	// The request's context threads through every execution layer: when
+	// the client disconnects (or the connection dies), cells of this
+	// sweep not yet started are never simulated, the wait aborts, and
+	// the request counts as canceled, not failed.
+	ctx := r.Context()
 	if format == "ndjson" {
-		s.streamScenario(w, sp)
+		s.streamScenario(ctx, w, sp)
 		return
 	}
 	// Buffered formats complete the sweep before the first byte, so a
 	// simulation failure can still surface as a clean 500.
-	rs, err := s.session.RunScenario(sp)
+	rs, err := s.session.RunScenarioCtx(ctx, sp)
 	if err != nil {
+		if s.clientGone(ctx, err) {
+			return // nobody is listening for a status line
+		}
 		s.failures.Add(1)
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -203,20 +255,43 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/csv")
 	}
 	if err := rs.Emit(w, format); err != nil {
-		s.failures.Add(1)
+		// The sweep itself succeeded; the only thing that can fail here
+		// is writing the rendered result to the client's connection —
+		// client behavior, never a simulation failure.
+		s.canceled.Add(1)
 	}
+}
+
+// errClientWrite marks a response-write failure on the streaming path: a
+// dead connection surfaces there (EPIPE, reset) possibly before net/http
+// cancels the request context, and must still count as the client going
+// away rather than as simulator trouble.
+var errClientWrite = errors.New("client write failed")
+
+// clientGone classifies a sweep error: if the request's context died
+// (client disconnect, connection reset, server Close) or the response
+// write itself failed, the request counts as canceled — a client
+// behavior, not a simulation failure — and clientGone reports true after
+// counting it.
+func (s *server) clientGone(ctx context.Context, err error) bool {
+	if ctx.Err() == nil && !errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, errClientWrite) {
+		return false
+	}
+	s.canceled.Add(1)
+	return true
 }
 
 // streamScenario writes NDJSON rows as grid cells complete. The status
 // line goes out before the sweep finishes, so a mid-sweep simulation
 // failure is reported as a terminal {"error"} line instead of a 500.
-func (s *server) streamScenario(w http.ResponseWriter, sp *scenario.Spec) {
+func (s *server) streamScenario(ctx context.Context, w http.ResponseWriter, sp *scenario.Spec) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := scenario.NewRowEncoder(w, sp)
 	flusher, _ := w.(http.Flusher)
-	_, err := scenario.ExecuteStream(s.session, sp, func(row scenario.Row) error {
+	_, err := scenario.ExecuteStreamCtx(ctx, s.session, sp, func(row scenario.Row) error {
 		if err := enc.Encode(row); err != nil {
-			return err
+			return fmt.Errorf("%w: %v", errClientWrite, err)
 		}
 		s.rows.Add(1)
 		if flusher != nil {
@@ -224,17 +299,21 @@ func (s *server) streamScenario(w http.ResponseWriter, sp *scenario.Spec) {
 		}
 		return nil
 	})
-	if err != nil {
+	if err != nil && !s.clientGone(ctx, err) {
 		s.failures.Add(1)
 		json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 	}
 }
 
-// metricsDoc is the /v1/metrics wire shape.
+// metricsDoc is the /v1/metrics wire shape. Failures counts sweeps that
+// failed simulating or emitting; Canceled counts sweeps cut short by the
+// client going away (disconnects, resets) — the two are never conflated,
+// so a flaky client population cannot masquerade as simulator trouble.
 type metricsDoc struct {
 	Cache    simcache.Stats `json:"cache"`
 	Requests uint64         `json:"requests"`
 	Failures uint64         `json:"failures"`
+	Canceled uint64         `json:"canceled"`
 	Rows     uint64         `json:"rows"`
 }
 
@@ -247,6 +326,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Cache:    s.session.CacheStats(),
 		Requests: s.requests.Load(),
 		Failures: s.failures.Load(),
+		Canceled: s.canceled.Load(),
 		Rows:     s.rows.Load(),
 	})
 }

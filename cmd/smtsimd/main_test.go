@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -10,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/scenario"
@@ -213,6 +217,173 @@ func TestResponseDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if st := par.session.CacheStats(); st.Evictions == 0 {
 		t.Errorf("cache stats %+v: want evictions > 0 under a 3-entry bound", st)
+	}
+}
+
+// getMetrics fetches and decodes /v1/metrics.
+func getMetrics(t *testing.T, url string) metricsDoc {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc metricsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestRequestTooLarge: a body beyond -max-body is the client's size
+// problem (413), not a malformed spec (400).
+func TestRequestTooLarge(t *testing.T) {
+	opt := testOptions()
+	s, err := newServer(opt, 64) // far below len(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	status, body := post(t, ts.URL+"/v1/scenario", testSpec)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d (body %s), want 413", status, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "64 bytes") {
+		t.Errorf("body %q does not name the body bound", body)
+	}
+}
+
+// TestClientDisconnectStopsSweep is the serving-layer cancellation
+// contract end to end: a client that opens a large NDJSON sweep and
+// vanishes after the first row stops consuming the worker pool — cells
+// not yet started are abandoned un-simulated (cache.canceled), in-flight
+// work drains to zero, and the request counts as canceled, never as a
+// simulation failure.
+func TestClientDisconnectStopsSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	opt := testOptions()
+	opt.Workers = 1 // one running cell at a time: the rest must queue
+	_, ts := newTestServer(t, opt)
+
+	// One workload × 8 ROB points: 8 grid cells behind a single worker.
+	var axes strings.Builder
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			axes.WriteString(",")
+		}
+		fmt.Fprintf(&axes, `{"label":"%d","delta":{"robSize":%d}}`, 64+16*i, 64+16*i)
+	}
+	spec := `{
+	  "name": "disconnect-test",
+	  "workloads": {"adhoc": ["art+mcf"]},
+	  "base": {"traceLen": 1500, "maxCycles": 2000000, "seed": 11},
+	  "axes": [{"name": "rob", "points": [` + axes.String() + `]}],
+	  "metrics": ["throughput"]
+	}`
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/scenario", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read exactly one streamed row, then vanish mid-response.
+	line, err := bufio.NewReader(resp.Body).ReadString('\n')
+	if err != nil {
+		t.Fatalf("first NDJSON row: %v", err)
+	}
+	if !json.Valid([]byte(line)) {
+		t.Fatalf("first row is not JSON: %q", line)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The pool must drain: the running cell finishes, queued cells are
+	// abandoned without ever simulating.
+	deadline := time.Now().Add(30 * time.Second)
+	var doc metricsDoc
+	for {
+		doc = getMetrics(t, ts.URL)
+		if doc.Cache.InFlight == 0 && doc.Canceled > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never drained after disconnect: %+v", doc)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if doc.Failures != 0 {
+		t.Errorf("client disconnect counted as failure: %+v", doc)
+	}
+	if doc.Canceled != 1 {
+		t.Errorf("canceled = %d, want 1", doc.Canceled)
+	}
+	if doc.Cache.Canceled == 0 {
+		t.Errorf("no queued cell was abandoned (all %d dispatched cells simulated): %+v", doc.Cache.Misses, doc)
+	}
+
+	// The daemon is undamaged: the same sweep completes for a patient
+	// client, re-simulating what was abandoned.
+	status, body := post(t, ts.URL+"/v1/scenario", spec)
+	if status != http.StatusOK {
+		t.Fatalf("post-disconnect sweep status = %d, body %s", status, body)
+	}
+	if n := bytes.Count(body, []byte("\n")); n != 8 {
+		t.Errorf("post-disconnect sweep rows = %d, want 8", n)
+	}
+	after := getMetrics(t, ts.URL)
+	if after.Failures != 0 {
+		t.Errorf("failures after recovery sweep: %+v", after)
+	}
+}
+
+// TestTinyTraceAllFormats runs a deliberately starved configuration —
+// tiny trace, cycle budget low enough to truncate — through every output
+// format: truncated rows must emit cleanly (finite JSON numbers, no
+// "unsupported value" encode failures) in each of them.
+func TestTinyTraceAllFormats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	_, ts := newTestServer(t, testOptions())
+	spec := `{
+	  "name": "tiny-trace",
+	  "workloads": {"adhoc": ["art+mcf"]},
+	  "base": {"traceLen": 200, "maxCycles": 400, "seed": 3},
+	  "metrics": ["throughput", "l2mpki", "ed2", "cycles", "committed"]
+	}`
+	for _, format := range []string{"ndjson", "json", "csv", "table"} {
+		status, body := post(t, ts.URL+"/v1/scenario?format="+format, spec)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status = %d, body %s", format, status, body)
+		}
+		if len(bytes.TrimSpace(body)) == 0 {
+			t.Errorf("%s: empty body", format)
+		}
+		switch format {
+		case "json":
+			if !json.Valid(body) {
+				t.Errorf("json body invalid: %s", body)
+			}
+		case "ndjson":
+			for _, line := range bytes.Split(bytes.TrimSpace(body), []byte("\n")) {
+				if !json.Valid(line) {
+					t.Errorf("ndjson line invalid: %s", line)
+				}
+			}
+		}
+	}
+	if doc := getMetrics(t, ts.URL); doc.Failures != 0 {
+		t.Errorf("tiny-trace sweeps failed: %+v", doc)
 	}
 }
 

@@ -59,6 +59,30 @@
 // requests at a live daemon and asserts each response is bit-identical to
 // a sequential in-process run of the same spec.
 //
+// # Cancellation and shutdown
+//
+// Execution is cancellation-correct at every layer. The session's worker
+// pool is a FIFO queue drained by at most Workers goroutines (spawned on
+// demand, exiting when idle), and each layer has a context-taking form —
+// experiments.Session.StartRunCtx / RunConfigCtx / ReferenceCtx /
+// RunScenarioCtx, scenario.ExecuteCtx / ExecuteStreamCtx,
+// simcache.Cache.BeginCtx / Call.WaitCtx — threading the requester's
+// context down to the queue. When every requester interested in a queued
+// cell has canceled before a worker picks it up, the cell is abandoned:
+// never simulated, its key freed for recomputation, its waiters failed
+// with the cancellation error (simcache.Cache.Abandon; the abandoned
+// count surfaces as cache "canceled" in metrics). A cell already running
+// always finishes and populates the cache — results are deterministic
+// and shared, so completing them is never waste. For smtsimd this means
+// a client that disconnects mid-sweep stops consuming the pool: queued
+// cells die, the request counts under the "canceled" /v1/metrics counter
+// (client behavior, distinct from "failures", which is simulator
+// trouble), and live requests are unaffected. SIGINT/SIGTERM shut the
+// daemon down gracefully — the listener closes, in-flight responses
+// drain up to -drain, then the process exits 0 — while cmd/experiments
+// and cmd/smtsim treat Ctrl-C as cancellation of the same session
+// context (queued simulations never start; exit status 130).
+//
 // Start with README.md for a tour, DESIGN.md for the architecture and the
 // substitutions made for unavailable artifacts, and EXPERIMENTS.md for the
 // measured-versus-published comparison of every table and figure.

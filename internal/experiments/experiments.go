@@ -14,10 +14,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"unsafe"
 
 	"repro/internal/core"
@@ -106,13 +108,35 @@ type runKey struct {
 // run's outcome is a pure function of its configuration, so retrying a
 // failed key could never succeed.
 //
+// The pool is a FIFO work queue drained by at most Options.Workers
+// goroutines, spawned on demand and exiting when the queue empties — a
+// request for N cells costs N queue entries, not N parked goroutines,
+// and an idle session holds no goroutines at all. Cancellation happens
+// at the queue boundary: a cell whose interested requesters (the
+// contexts passed to StartRunCtx) have all gone away by the time a
+// worker pops it is abandoned, never simulated. A cell already running
+// always finishes and populates the cache — results are deterministic
+// and shared, so completing them is never wasted work.
+//
 // Session implements scenario.Runner, so scenario.Execute dispatches
 // onto the same pool and cache the figures use.
 type Session struct {
 	opt   Options
 	base  core.Config
-	sem   chan struct{} // worker pool slots
 	cache *simcache.Cache[runKey, *core.Result]
+
+	mu         sync.Mutex
+	queue      []job // FIFO of cells not yet picked up by a worker
+	workers    int   // live worker goroutines
+	maxWorkers int
+}
+
+// job is one queued simulation: the call its requesters hold plus the
+// function that computes it.
+type job struct {
+	key  runKey
+	call *simcache.Call[*core.Result]
+	run  func() (*core.Result, error)
 }
 
 // NewSession builds a session, validating the workload selection up
@@ -144,10 +168,10 @@ func NewSession(opt Options) (*Session, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Session{
-		opt:   opt,
-		base:  base,
-		sem:   make(chan struct{}, workers),
-		cache: simcache.New[runKey, *core.Result](opt.CacheEntries, opt.CacheBytes, resultBytes),
+		opt:        opt,
+		base:       base,
+		maxWorkers: workers,
+		cache:      simcache.New[runKey, *core.Result](opt.CacheEntries, opt.CacheBytes, resultBytes),
 	}, nil
 }
 
@@ -174,34 +198,66 @@ func (s *Session) CacheStats() simcache.Stats { return s.cache.Stats() }
 // Table 1 machine scaled by this session's Options.
 func (s *Session) BaseConfig() core.Config { return s.base }
 
-// dispatch runs fn on the worker pool: the goroutine occupies a slot for
-// the duration of fn only.
-func (s *Session) dispatch(fn func()) {
-	go func() {
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
-		fn()
-	}()
+// dispatch queues one job and ensures a worker will drain it. Workers
+// spawn lazily up to the pool bound and exit when the queue empties, so
+// the pool leaks nothing between sweeps.
+func (s *Session) dispatch(j job) {
+	s.mu.Lock()
+	s.queue = append(s.queue, j)
+	if s.workers < s.maxWorkers {
+		s.workers++
+		go s.work()
+	}
+	s.mu.Unlock()
+}
+
+// work drains the queue. A popped job whose requesters have all canceled
+// is abandoned (the cell is never simulated and the key becomes free to
+// recompute); anything else runs to completion and populates the cache.
+func (s *Session) work() {
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			s.workers--
+			s.queue = nil // release the drained backing array
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue[0]
+		s.queue[0] = job{} // drop the array's reference to the popped job
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		if s.cache.Abandon(j.key, j.call, context.Canceled) {
+			continue
+		}
+		j.call.Fulfill(j.run())
+	}
 }
 
 // StartRun schedules (or joins) the simulation of one workload under one
 // complete configuration, returning its call immediately. The simulation
-// itself executes on the worker pool; only the first requester of a key
-// occupies a slot.
+// executes on the worker pool and is never canceled once scheduled.
 func (s *Session) StartRun(w workload.Workload, cfg core.Config) *simcache.Call[*core.Result] {
+	return s.StartRunCtx(context.Background(), w, cfg)
+}
+
+// StartRunCtx is StartRun with cancellation interest: if every context
+// registered against the cell (this one, plus any concurrent requester's)
+// is done before a worker picks the cell up, it is abandoned unrun. A
+// cell a worker already started always finishes and populates the cache.
+func (s *Session) StartRunCtx(ctx context.Context, w workload.Workload, cfg core.Config) *simcache.Call[*core.Result] {
 	key := runKey{workload: w.Name(), config: cfg.Canonical()}
-	c, created := s.cache.Begin(key)
+	c, created := s.cache.BeginCtx(ctx, key)
 	if !created {
 		return c
 	}
-	s.dispatch(func() {
+	s.dispatch(job{key: key, call: c, run: func() (*core.Result, error) {
 		r, err := core.Run(cfg, w)
 		if err != nil {
-			c.Fulfill(nil, fmt.Errorf("%s under %s: %w", w.Name(), cfg.Policy, err))
-			return
+			return nil, fmt.Errorf("%s under %s: %w", w.Name(), cfg.Policy, err)
 		}
-		c.Fulfill(r, nil)
-	})
+		return r, nil
+	}})
 	return c
 }
 
@@ -209,6 +265,13 @@ func (s *Session) StartRun(w workload.Workload, cfg core.Config) *simcache.Call[
 // configuration, blocking for the result.
 func (s *Session) RunConfig(w workload.Workload, cfg core.Config) (*core.Result, error) {
 	return s.StartRun(w, cfg).Wait()
+}
+
+// RunConfigCtx is RunConfig bounded by ctx: the wait returns ctx's error
+// as soon as ctx is done, and a cell no live request is interested in is
+// never simulated.
+func (s *Session) RunConfigCtx(ctx context.Context, w workload.Workload, cfg core.Config) (*core.Result, error) {
+	return s.StartRunCtx(ctx, w, cfg).WaitCtx(ctx)
 }
 
 // referenceWorkload is the single-thread workload of a fairness
@@ -233,13 +296,24 @@ func referenceConfig(cfg core.Config) core.Config {
 // for configurations differing only in policy collapse to one
 // simulation.
 func (s *Session) StartReference(benchmark string, cfg core.Config) {
-	s.StartRun(referenceWorkload(benchmark), referenceConfig(cfg))
+	s.StartReferenceCtx(context.Background(), benchmark, cfg)
+}
+
+// StartReferenceCtx is StartReference with cancellation interest,
+// following the same queue rules as StartRunCtx.
+func (s *Session) StartReferenceCtx(ctx context.Context, benchmark string, cfg core.Config) {
+	s.StartRunCtx(ctx, referenceWorkload(benchmark), referenceConfig(cfg))
 }
 
 // Reference blocks for a benchmark's single-thread reference IPC on the
 // given machine (the IPC_ST of the fairness metric).
 func (s *Session) Reference(benchmark string, cfg core.Config) (float64, error) {
-	res, err := s.RunConfig(referenceWorkload(benchmark), referenceConfig(cfg))
+	return s.ReferenceCtx(context.Background(), benchmark, cfg)
+}
+
+// ReferenceCtx is Reference bounded by ctx.
+func (s *Session) ReferenceCtx(ctx context.Context, benchmark string, cfg core.Config) (float64, error) {
+	res, err := s.RunConfigCtx(ctx, referenceWorkload(benchmark), referenceConfig(cfg))
 	if err != nil {
 		return 0, err
 	}
@@ -270,6 +344,13 @@ func (s *Session) run(w workload.Workload, pol core.PolicyKind, regs int) (*core
 // are simulated once.
 func (s *Session) RunScenario(sp *scenario.Spec) (*scenario.ResultSet, error) {
 	return scenario.Execute(s, sp)
+}
+
+// RunScenarioCtx is RunScenario bounded by ctx: cells not yet started
+// when ctx dies are never simulated, running cells finish into the
+// cache, and the call returns ctx's error promptly.
+func (s *Session) RunScenarioCtx(ctx context.Context, sp *scenario.Spec) (*scenario.ResultSet, error) {
+	return scenario.ExecuteCtx(ctx, s, sp)
 }
 
 // figureSpec assembles the scenario a figure needs: the session's
@@ -326,8 +407,8 @@ type PolicyFigure struct {
 
 // policyFigure runs the common Figure 1/2 machinery: one policy axis,
 // throughput and fairness per cell, group-averaged.
-func (s *Session) policyFigure(name string, pols []core.PolicyKind) (*PolicyFigure, error) {
-	rs, err := s.RunScenario(s.figureSpec(name, []string{"throughput", "fairness"}, policyAxis(pols)))
+func (s *Session) policyFigure(ctx context.Context, name string, pols []core.PolicyKind) (*PolicyFigure, error) {
+	rs, err := s.RunScenarioCtx(ctx, s.figureSpec(name, []string{"throughput", "fairness"}, policyAxis(pols)))
 	if err != nil {
 		return nil, err
 	}
@@ -355,14 +436,14 @@ func (s *Session) policyFigure(name string, pols []core.PolicyKind) (*PolicyFigu
 }
 
 // Fig1 reproduces Figure 1: RaT against the static fetch policies.
-func (s *Session) Fig1() (*PolicyFigure, error) {
-	return s.policyFigure("Figure 1: I-Fetch policies (ICOUNT, STALL, FLUSH, RaT)",
+func (s *Session) Fig1(ctx context.Context) (*PolicyFigure, error) {
+	return s.policyFigure(ctx, "Figure 1: I-Fetch policies (ICOUNT, STALL, FLUSH, RaT)",
 		[]core.PolicyKind{core.PolicyICount, core.PolicySTALL, core.PolicyFLUSH, core.PolicyRaT})
 }
 
 // Fig2 reproduces Figure 2: RaT against the dynamic resource controllers.
-func (s *Session) Fig2() (*PolicyFigure, error) {
-	return s.policyFigure("Figure 2: resource control policies (ICOUNT, DCRA, HillClimbing, RaT)",
+func (s *Session) Fig2(ctx context.Context) (*PolicyFigure, error) {
+	return s.policyFigure(ctx, "Figure 2: resource control policies (ICOUNT, DCRA, HillClimbing, RaT)",
 		[]core.PolicyKind{core.PolicyICount, core.PolicyDCRA, core.PolicyHillClimbing, core.PolicyRaT})
 }
 
@@ -409,10 +490,10 @@ type Fig3Result struct {
 
 // Fig3 reproduces Figure 3: Energy-Delay² (executed instructions × CPI²),
 // normalized to ICOUNT.
-func (s *Session) Fig3() (*Fig3Result, error) {
+func (s *Session) Fig3(ctx context.Context) (*Fig3Result, error) {
 	pols := []core.PolicyKind{core.PolicyICount, core.PolicySTALL, core.PolicyFLUSH,
 		core.PolicyDCRA, core.PolicyHillClimbing, core.PolicyRaT}
-	rs, err := s.RunScenario(s.figureSpec("Figure 3", []string{"ed2"}, policyAxis(pols)))
+	rs, err := s.RunScenarioCtx(ctx, s.figureSpec("Figure 3", []string{"ed2"}, policyAxis(pols)))
 	if err != nil {
 		return nil, err
 	}

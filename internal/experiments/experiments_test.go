@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestFig1ShapeAndCache(t *testing.T) {
 		t.Skip("harness run")
 	}
 	s := mustSession(t, tinyOptions())
-	f, err := s.Fig1()
+	f, err := s.Fig1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestFig1ShapeAndCache(t *testing.T) {
 	}
 	// The session must cache: a second Fig1 reuses every run.
 	before := s.cache.Len()
-	if _, err := s.Fig1(); err != nil {
+	if _, err := s.Fig1(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if s.cache.Len() != before {
@@ -86,7 +87,7 @@ func TestFig3Normalization(t *testing.T) {
 		t.Skip("harness run")
 	}
 	s := mustSession(t, tinyOptions())
-	f, err := s.Fig3()
+	f, err := s.Fig3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestFig4Renders(t *testing.T) {
 	o := tinyOptions()
 	o.Groups = []string{"MEM2"}
 	s := mustSession(t, o)
-	f, err := s.Fig4()
+	f, err := s.Fig4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestFig5RunaheadLighter(t *testing.T) {
 	o := tinyOptions()
 	o.Groups = []string{"MEM2"}
 	s := mustSession(t, o)
-	f, err := s.Fig5()
+	f, err := s.Fig5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestFig6Shape(t *testing.T) {
 	o := tinyOptions()
 	o.Groups = []string{"MEM2"}
 	s := mustSession(t, o)
-	f, err := s.Fig6()
+	f, err := s.Fig6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

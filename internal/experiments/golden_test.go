@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,12 +37,12 @@ func TestFiguresGolden(t *testing.T) {
 	}{
 		{"table1", func() (string, error) { return Table1(), nil }},
 		{"table2", func() (string, error) { return Table2(), nil }},
-		{"fig1", func() (string, error) { f, err := s.Fig1(); return stringify(f, err) }},
-		{"fig2", func() (string, error) { f, err := s.Fig2(); return stringify(f, err) }},
-		{"fig3", func() (string, error) { f, err := s.Fig3(); return stringify(f, err) }},
-		{"fig4", func() (string, error) { f, err := s.Fig4(); return stringify(f, err) }},
-		{"fig5", func() (string, error) { f, err := s.Fig5(); return stringify(f, err) }},
-		{"fig6", func() (string, error) { f, err := s.Fig6(); return stringify(f, err) }},
+		{"fig1", func() (string, error) { f, err := s.Fig1(context.Background()); return stringify(f, err) }},
+		{"fig2", func() (string, error) { f, err := s.Fig2(context.Background()); return stringify(f, err) }},
+		{"fig3", func() (string, error) { f, err := s.Fig3(context.Background()); return stringify(f, err) }},
+		{"fig4", func() (string, error) { f, err := s.Fig4(context.Background()); return stringify(f, err) }},
+		{"fig5", func() (string, error) { f, err := s.Fig5(context.Background()); return stringify(f, err) }},
+		{"fig6", func() (string, error) { f, err := s.Fig6(context.Background()); return stringify(f, err) }},
 	}
 	for _, fig := range figs {
 		t.Run(fig.name, func(t *testing.T) {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -30,11 +31,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 	oPar.Workers = 4
 	seq, par := mustSession(t, oSeq), mustSession(t, oPar)
 
-	sf, err := seq.Fig1()
+	sf, err := seq.Fig1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	pf, err := par.Fig1()
+	pf, err := par.Fig1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,11 +45,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 
 	// Fig5 reuses the cached ICOUNT/RaT runs plus the register occupancy
 	// channel of each Result — a second reduction over the same raw data.
-	sf5, err := seq.Fig5()
+	sf5, err := seq.Fig5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	pf5, err := par.Fig5()
+	pf5, err := par.Fig5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,8 +206,8 @@ func TestSessionSharesRunsAcrossConcurrentFigures(t *testing.T) {
 	s := mustSession(t, o)
 
 	errs := make(chan error, 2)
-	go func() { _, err := s.Fig1(); errs <- err }()
-	go func() { _, err := s.Fig3(); errs <- err }()
+	go func() { _, err := s.Fig1(context.Background()); errs <- err }()
+	go func() { _, err := s.Fig3(context.Background()); errs <- err }()
 	for i := 0; i < 2; i++ {
 		if err := <-errs; err != nil {
 			t.Fatal(err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,12 +31,12 @@ type Fig4Result struct {
 }
 
 // Fig4 reproduces Figure 4's three experiments.
-func (s *Session) Fig4() (*Fig4Result, error) {
+func (s *Session) Fig4(ctx context.Context) (*Fig4Result, error) {
 	// Axis order fixes the combo index of each policy below.
 	pols := []core.PolicyKind{core.PolicyRaT, core.PolicyRaTNoPrefetch,
 		core.PolicyRaTNoFetch, core.PolicyICount}
 	const iRat, iNoPf, iNoFetch, iIC = 0, 1, 2, 3
-	rs, err := s.RunScenario(s.figureSpec("Figure 4", []string{"throughput"}, policyAxis(pols)))
+	rs, err := s.RunScenarioCtx(ctx, s.figureSpec("Figure 4", []string{"throughput"}, policyAxis(pols)))
 	if err != nil {
 		return nil, err
 	}
@@ -104,9 +105,9 @@ type Fig5Result struct {
 }
 
 // Fig5 reproduces Figure 5.
-func (s *Session) Fig5() (*Fig5Result, error) {
+func (s *Session) Fig5(ctx context.Context) (*Fig5Result, error) {
 	const iIC, iRat = 0, 1
-	rs, err := s.RunScenario(s.figureSpec("Figure 5", []string{"throughput"},
+	rs, err := s.RunScenarioCtx(ctx, s.figureSpec("Figure 5", []string{"throughput"},
 		policyAxis([]core.PolicyKind{core.PolicyICount, core.PolicyRaT})))
 	if err != nil {
 		return nil, err
@@ -153,9 +154,9 @@ type Fig6Result struct {
 // register size matches Table 1 share their simulations with the other
 // figures: the cache keys by full configuration, not by which figure
 // asked.
-func (s *Session) Fig6() (*Fig6Result, error) {
+func (s *Session) Fig6(ctx context.Context) (*Fig6Result, error) {
 	pols := []core.PolicyKind{core.PolicyFLUSH, core.PolicyRaT}
-	rs, err := s.RunScenario(s.figureSpec("Figure 6", []string{"throughput"},
+	rs, err := s.RunScenarioCtx(ctx, s.figureSpec("Figure 6", []string{"throughput"},
 		regsAxis(s.opt.RegSizes), policyAxis(pols)))
 	if err != nil {
 		return nil, err

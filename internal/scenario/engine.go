@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -17,19 +18,24 @@ import (
 // (workload, core.Config.Canonical()), so any two scenario points — or a
 // scenario point and a figure — that describe the same machine share one
 // simulation.
+//
+// Every dispatching method takes the requesting sweep's context: a cell
+// whose interested requesters have all canceled before it starts must
+// never be simulated, while a cell that is already running finishes and
+// populates the shared cache.
 type Runner interface {
 	// BaseConfig returns the configuration scenario deltas apply onto.
 	BaseConfig() core.Config
-	// StartRun schedules (or joins) one simulation without blocking and
-	// returns its pending call.
-	StartRun(w workload.Workload, cfg core.Config) *simcache.Call[*core.Result]
-	// StartReference schedules (or joins) the single-thread reference run
-	// the fairness metric needs — the benchmark alone on the given machine
-	// under the baseline policy — without blocking.
-	StartReference(benchmark string, cfg core.Config)
-	// Reference blocks for a benchmark's single-thread reference IPC on
-	// the given machine.
-	Reference(benchmark string, cfg core.Config) (float64, error)
+	// StartRunCtx schedules (or joins) one simulation without blocking
+	// and returns its pending call.
+	StartRunCtx(ctx context.Context, w workload.Workload, cfg core.Config) *simcache.Call[*core.Result]
+	// StartReferenceCtx schedules (or joins) the single-thread reference
+	// run the fairness metric needs — the benchmark alone on the given
+	// machine under the baseline policy — without blocking.
+	StartReferenceCtx(ctx context.Context, benchmark string, cfg core.Config)
+	// ReferenceCtx blocks for a benchmark's single-thread reference IPC
+	// on the given machine, or until ctx is done.
+	ReferenceCtx(ctx context.Context, benchmark string, cfg core.Config) (float64, error)
 }
 
 // metric is one per-cell reduction. compute receives the cell's full
@@ -39,18 +45,18 @@ type metric struct {
 	name string
 	// needsReference marks metrics that read single-thread references.
 	needsReference bool
-	compute        func(r Runner, w workload.Workload, cfg core.Config, res *core.Result) (float64, error)
+	compute        func(ctx context.Context, r Runner, w workload.Workload, cfg core.Config, res *core.Result) (float64, error)
 }
 
 // metricTable lists the available reductions in documentation order.
 var metricTable = []metric{
-	{name: "throughput", compute: func(_ Runner, _ workload.Workload, _ core.Config, res *core.Result) (float64, error) {
+	{name: "throughput", compute: func(_ context.Context, _ Runner, _ workload.Workload, _ core.Config, res *core.Result) (float64, error) {
 		return metrics.Throughput(res.IPCs()), nil
 	}},
-	{name: "fairness", needsReference: true, compute: func(r Runner, w workload.Workload, cfg core.Config, res *core.Result) (float64, error) {
+	{name: "fairness", needsReference: true, compute: func(ctx context.Context, r Runner, w workload.Workload, cfg core.Config, res *core.Result) (float64, error) {
 		stv := make([]float64, 0, len(w.Benchmarks))
 		for _, b := range w.Benchmarks {
-			v, err := r.Reference(b, cfg)
+			v, err := r.ReferenceCtx(ctx, b, cfg)
 			if err != nil {
 				return 0, err
 			}
@@ -58,19 +64,19 @@ var metricTable = []metric{
 		}
 		return metrics.Fairness(stv, res.IPCs()), nil
 	}},
-	{name: "ed2", compute: func(_ Runner, _ workload.Workload, _ core.Config, res *core.Result) (float64, error) {
+	{name: "ed2", compute: func(_ context.Context, _ Runner, _ workload.Workload, _ core.Config, res *core.Result) (float64, error) {
 		return metrics.ED2(res.ExecutedTotal, res.Cycles, res.CommittedTotal), nil
 	}},
-	{name: "cycles", compute: func(_ Runner, _ workload.Workload, _ core.Config, res *core.Result) (float64, error) {
+	{name: "cycles", compute: func(_ context.Context, _ Runner, _ workload.Workload, _ core.Config, res *core.Result) (float64, error) {
 		return float64(res.Cycles), nil
 	}},
-	{name: "committed", compute: func(_ Runner, _ workload.Workload, _ core.Config, res *core.Result) (float64, error) {
+	{name: "committed", compute: func(_ context.Context, _ Runner, _ workload.Workload, _ core.Config, res *core.Result) (float64, error) {
 		return float64(res.CommittedTotal), nil
 	}},
-	{name: "executed", compute: func(_ Runner, _ workload.Workload, _ core.Config, res *core.Result) (float64, error) {
+	{name: "executed", compute: func(_ context.Context, _ Runner, _ workload.Workload, _ core.Config, res *core.Result) (float64, error) {
 		return float64(res.ExecutedTotal), nil
 	}},
-	{name: "l2mpki", compute: func(_ Runner, _ workload.Workload, _ core.Config, res *core.Result) (float64, error) {
+	{name: "l2mpki", compute: func(_ context.Context, _ Runner, _ workload.Workload, _ core.Config, res *core.Result) (float64, error) {
 		if res.CommittedTotal == 0 {
 			return 0, nil
 		}
@@ -80,14 +86,14 @@ var metricTable = []metric{
 		}
 		return 1000 * float64(misses) / float64(res.CommittedTotal), nil
 	}},
-	{name: "prefetches", compute: func(_ Runner, _ workload.Workload, _ core.Config, res *core.Result) (float64, error) {
+	{name: "prefetches", compute: func(_ context.Context, _ Runner, _ workload.Workload, _ core.Config, res *core.Result) (float64, error) {
 		var n uint64
 		for i := range res.Threads {
 			n += res.Threads[i].PrefetchesIssued
 		}
 		return float64(n), nil
 	}},
-	{name: "runahead-episodes", compute: func(_ Runner, _ workload.Workload, _ core.Config, res *core.Result) (float64, error) {
+	{name: "runahead-episodes", compute: func(_ context.Context, _ Runner, _ workload.Workload, _ core.Config, res *core.Result) (float64, error) {
 		var n uint64
 		for i := range res.Threads {
 			n += res.Threads[i].RunaheadEpisodes
@@ -161,7 +167,14 @@ func (rs *ResultSet) Value(wi, ci, mi int) float64 {
 // runner's pool, and reduces the results in a fixed order — so output is
 // bit-identical for any worker count.
 func Execute(r Runner, sp *Spec) (*ResultSet, error) {
-	return ExecuteStream(r, sp, nil)
+	return ExecuteStreamCtx(context.Background(), r, sp, nil)
+}
+
+// ExecuteCtx is Execute bounded by ctx: once ctx is done the sweep
+// returns ctx's error promptly, cells not yet started are never
+// simulated, and cells already running finish into the runner's cache.
+func ExecuteCtx(ctx context.Context, r Runner, sp *Spec) (*ResultSet, error) {
+	return ExecuteStreamCtx(ctx, r, sp, nil)
 }
 
 // ExecuteStream is Execute with a streaming hook: when emit is non-nil it
@@ -172,8 +185,18 @@ func Execute(r Runner, sp *Spec) (*ResultSet, error) {
 // stream, is identical for any worker count. A non-nil error from emit
 // aborts the sweep.
 func ExecuteStream(r Runner, sp *Spec, emit func(Row) error) (*ResultSet, error) {
+	return ExecuteStreamCtx(context.Background(), r, sp, emit)
+}
+
+// ExecuteStreamCtx is ExecuteStream bounded by ctx (see ExecuteCtx for
+// the cancellation contract). Cancellation mid-sweep aborts collection
+// with ctx's error; rows already emitted stand.
+func ExecuteStreamCtx(ctx context.Context, r Runner, sp *Spec, emit func(Row) error) (*ResultSet, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sp.Name, err)
 	}
 	ws, err := sp.Workloads.Select()
 	if err != nil {
@@ -192,17 +215,19 @@ func ExecuteStream(r Runner, sp *Spec, emit func(Row) error) (*ResultSet, error)
 	}
 
 	// Dispatch the whole grid (plus references, when a metric reads them)
-	// before collecting anything, so the pool stays saturated.
+	// before collecting anything, so the pool stays saturated. Every cell
+	// is registered under the sweep's context: whatever cancellation
+	// leaves unstarted is never simulated.
 	calls := make([][]*simcache.Call[*core.Result], len(ws))
 	for wi, w := range ws {
 		calls[wi] = make([]*simcache.Call[*core.Result], len(combos))
 		for ci, combo := range combos {
-			calls[wi][ci] = r.StartRun(w, combo.Config)
+			calls[wi][ci] = r.StartRunCtx(ctx, w, combo.Config)
 		}
 		if needRef {
 			for _, combo := range combos {
 				for _, b := range w.Benchmarks {
-					r.StartReference(b, combo.Config)
+					r.StartReferenceCtx(ctx, b, combo.Config)
 				}
 			}
 		}
@@ -220,7 +245,7 @@ func ExecuteStream(r Runner, sp *Spec, emit func(Row) error) (*ResultSet, error)
 	for wi, w := range ws {
 		rs.raw[wi] = make([]*core.Result, len(combos))
 		for ci, combo := range combos {
-			res, err := calls[wi][ci].Wait()
+			res, err := calls[wi][ci].WaitCtx(ctx)
 			if err != nil {
 				return nil, fmt.Errorf("scenario %s: %w", sp.Name, err)
 			}
@@ -233,7 +258,7 @@ func ExecuteStream(r Runner, sp *Spec, emit func(Row) error) (*ResultSet, error)
 				Truncated:   res.Truncated,
 			}
 			for mi, m := range mets {
-				v, err := m.compute(r, w, combo.Config, res)
+				v, err := m.compute(ctx, r, w, combo.Config, res)
 				if err != nil {
 					return nil, fmt.Errorf("scenario %s: metric %s: %w", sp.Name, m.name, err)
 				}

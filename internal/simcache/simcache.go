@@ -24,10 +24,24 @@
 //
 // Errors memoize like results while cached: an outcome is a pure function
 // of the key, so retrying a failed key could never succeed.
+//
+// # Cancellation
+//
+// Waiters cancel individually: Call.WaitCtx returns the waiter's own
+// context error without disturbing the computation or other waiters.
+// Creators cancel through Abandon: a worker that pops a queued call whose
+// interested requesters (the contexts registered by BeginCtx) have all
+// gone away may atomically unregister the entry and fail the call, so the
+// computation is never started, no waiter can hang (anyone still able to
+// hold the call pointer is already past its own WaitCtx cancellation),
+// and a later request for the key registers a fresh computation — the
+// singleflight contract survives because the check-and-remove happens
+// under the same lock Begin uses to join calls.
 package simcache
 
 import (
 	"container/list"
+	"context"
 	"sync"
 )
 
@@ -40,6 +54,9 @@ type Stats struct {
 	Misses uint64 `json:"misses"`
 	// Evictions counts completed entries dropped to respect the bounds.
 	Evictions uint64 `json:"evictions"`
+	// Canceled counts calls abandoned before their computation started
+	// because every interested requester's context was done.
+	Canceled uint64 `json:"canceled"`
 	// Entries and InFlight describe the current population; Bytes is the
 	// approximate retained result size reported by the size function.
 	Entries  int   `json:"entries"`
@@ -58,8 +75,9 @@ type Call[V any] struct {
 	settle func() // cache accounting hook, set by Begin; nil once settled
 }
 
-// Fulfill publishes the result, waking all waiters. The creator of the
-// call (the Begin caller that saw created=true) must call it exactly once.
+// Fulfill publishes the result, waking all waiters. The owner of the
+// call (the Begin caller that saw created=true, or whoever it handed the
+// call to) must call exactly one of Fulfill or Cache.Abandon.
 func (c *Call[V]) Fulfill(v V, err error) {
 	c.val, c.err = v, err
 	if c.settle != nil {
@@ -69,10 +87,31 @@ func (c *Call[V]) Fulfill(v V, err error) {
 	close(c.done)
 }
 
+// abandon publishes err and wakes waiters without settling: the cache
+// already unregistered the entry under its own lock.
+func (c *Call[V]) abandon(err error) {
+	c.err = err
+	c.settle = nil
+	close(c.done)
+}
+
 // Wait blocks until Fulfill and returns the published result.
 func (c *Call[V]) Wait() (V, error) {
 	<-c.done
 	return c.val, c.err
+}
+
+// WaitCtx is Wait with a per-waiter escape hatch: it returns ctx's error
+// as soon as ctx is done, leaving the computation (and every other
+// waiter) untouched.
+func (c *Call[V]) WaitCtx(ctx context.Context) (V, error) {
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		var zero V
+		return zero, ctx.Err()
+	}
 }
 
 // entry is one cache slot; it lives in both the LRU list and the key map.
@@ -81,6 +120,10 @@ type entry[K comparable, V any] struct {
 	call     *Call[V]
 	inflight bool
 	bytes    int64
+	// interest holds the context of every requester that joined the call
+	// while it was in flight (BeginCtx). Abandon may drop the call only
+	// when all of them are done; cleared once the call settles.
+	interest []context.Context
 }
 
 // Cache coordinates and retains calls keyed by K under LRU bounds.
@@ -97,6 +140,7 @@ type Cache[K comparable, V any] struct {
 	hits     uint64
 	misses   uint64
 	evicted  uint64
+	canceled uint64
 }
 
 // New builds a cache. maxEntries bounds the number of retained entries
@@ -116,22 +160,75 @@ func New[K comparable, V any](maxEntries int, maxBytes int64, sizeOf func(V) int
 // Begin returns key's call, registering a new computation if absent.
 // created reports whether this caller registered the call and therefore
 // owns computing and Fulfilling it; all other callers just Wait. A hit
-// (created=false) marks the entry most recently used.
+// (created=false) marks the entry most recently used. Calls begun without
+// a context are never abandonable: the computation always runs.
 func (c *Cache[K, V]) Begin(key K) (call *Call[V], created bool) {
+	return c.BeginCtx(context.Background(), key)
+}
+
+// BeginCtx is Begin with cancellation interest: ctx is recorded against
+// the call while it is in flight, and Abandon may drop the computation
+// only once every recorded context is done. A background (non-cancelable)
+// context pins the call to run unconditionally.
+func (c *Cache[K, V]) BeginCtx(ctx context.Context, key K) (call *Call[V], created bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		c.hits++
 		c.ll.MoveToFront(el)
-		return el.Value.(*entry[K, V]).call, false
+		e := el.Value.(*entry[K, V])
+		if e.inflight {
+			e.interest = append(e.interest, ctx)
+		}
+		return e.call, false
 	}
 	c.misses++
 	c.inflight++
-	e := &entry[K, V]{key: key, call: &Call[V]{done: make(chan struct{})}, inflight: true}
+	e := &entry[K, V]{
+		key:      key,
+		call:     &Call[V]{done: make(chan struct{})},
+		inflight: true,
+		interest: []context.Context{ctx},
+	}
 	el := c.ll.PushFront(e)
 	c.m[key] = el
 	e.call.settle = func() { c.settle(el) }
 	return e.call, true
+}
+
+// Abandon drops an in-flight call whose interested requesters have all
+// canceled, instead of computing it: the entry is unregistered (a later
+// request registers a fresh computation) and the call fails with err,
+// waking any waiter that has not noticed its own cancellation yet. It
+// reports whether it abandoned; false — the call settled already, or some
+// registered context is still live (a background context always is) —
+// means the caller still owns the computation and must run and Fulfill
+// it. Abandon and Fulfill are alternatives: the owner calls exactly one.
+func (c *Cache[K, V]) Abandon(key K, call *Call[V], err error) bool {
+	c.mu.Lock()
+	el, ok := c.m[key]
+	if !ok {
+		c.mu.Unlock()
+		return false
+	}
+	e := el.Value.(*entry[K, V])
+	if e.call != call || !e.inflight {
+		c.mu.Unlock()
+		return false
+	}
+	for _, ctx := range e.interest {
+		if ctx.Done() == nil || ctx.Err() == nil {
+			c.mu.Unlock()
+			return false
+		}
+	}
+	c.ll.Remove(el)
+	delete(c.m, key)
+	c.inflight--
+	c.canceled++
+	c.mu.Unlock()
+	call.abandon(err)
+	return true
 }
 
 // settle runs inside Fulfill, before waiters wake: the entry becomes
@@ -141,6 +238,7 @@ func (c *Cache[K, V]) settle(el *list.Element) {
 	defer c.mu.Unlock()
 	e := el.Value.(*entry[K, V])
 	e.inflight = false
+	e.interest = nil
 	c.inflight--
 	if c.sizeOf != nil && e.call.err == nil {
 		e.bytes = c.sizeOf(e.call.val)
@@ -185,6 +283,7 @@ func (c *Cache[K, V]) Stats() Stats {
 		Hits:       c.hits,
 		Misses:     c.misses,
 		Evictions:  c.evicted,
+		Canceled:   c.canceled,
 		Entries:    c.ll.Len(),
 		InFlight:   c.inflight,
 		Bytes:      c.bytes,

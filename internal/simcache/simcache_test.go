@@ -1,11 +1,13 @@
 package simcache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestSingleComputationManyWaiters(t *testing.T) {
@@ -171,6 +173,110 @@ func TestUnboundedNeverEvicts(t *testing.T) {
 	st := g.Stats()
 	if st.Entries != 256 || st.Evictions != 0 {
 		t.Fatalf("stats = %+v, want 256 entries and no evictions", st)
+	}
+}
+
+// TestWaitCtxCancelIsPerWaiter: a waiter's cancellation unblocks that
+// waiter alone — the computation and every other waiter are untouched,
+// and the fulfilled value still reaches anyone who stayed.
+func TestWaitCtxCancelIsPerWaiter(t *testing.T) {
+	g := New[string, int](0, 0, nil)
+	c, created := g.Begin("k")
+	if !created {
+		t.Fatal("first Begin not created")
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := c.WaitCtx(canceled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WaitCtx on canceled ctx = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("canceled WaitCtx blocked for %v", d)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if v, err := c.WaitCtx(context.Background()); v != 9 || err != nil {
+			t.Errorf("surviving waiter: %d, %v; want 9, nil", v, err)
+		}
+	}()
+	c.Fulfill(9, nil)
+	<-done
+	if v, err := c.Wait(); v != 9 || err != nil {
+		t.Fatalf("Wait after Fulfill = %d, %v", v, err)
+	}
+}
+
+// TestAbandonDropsDeadCall: when every registered requester has
+// canceled, Abandon unregisters the entry (a later request recomputes
+// from scratch) and fails the call so no waiter can hang.
+func TestAbandonDropsDeadCall(t *testing.T) {
+	g := New[string, int](0, 0, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	c, created := g.BeginCtx(ctx, "k")
+	if !created {
+		t.Fatal("not created")
+	}
+	cancel()
+	if !g.Abandon("k", c, context.Canceled) {
+		t.Fatal("Abandon = false for a call whose only requester canceled")
+	}
+	if _, err := c.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned call Wait err = %v, want context.Canceled", err)
+	}
+	st := g.Stats()
+	if st.Canceled != 1 || st.Entries != 0 || st.InFlight != 0 {
+		t.Fatalf("stats = %+v, want 1 canceled, empty cache", st)
+	}
+	// The key is free again: the singleflight contract survives.
+	if created := fill(t, g, "k", 5); !created {
+		t.Error("abandoned key did not register a fresh computation")
+	}
+}
+
+// TestAbandonRefusedWhileAnyRequesterLives: one live joiner pins the
+// computation, however many other requesters canceled.
+func TestAbandonRefusedWhileAnyRequesterLives(t *testing.T) {
+	g := New[string, int](0, 0, nil)
+	dead, cancel := context.WithCancel(context.Background())
+	c, created := g.BeginCtx(dead, "k")
+	if !created {
+		t.Fatal("not created")
+	}
+	live := context.Background()
+	if _, created := g.BeginCtx(live, "k"); created {
+		t.Fatal("join re-created")
+	}
+	cancel()
+	if g.Abandon("k", c, context.Canceled) {
+		t.Fatal("Abandon dropped a call a live requester still wants")
+	}
+	c.Fulfill(7, nil)
+	if v, err := c.Wait(); v != 7 || err != nil {
+		t.Fatalf("Wait = %d, %v", v, err)
+	}
+	if st := g.Stats(); st.Canceled != 0 {
+		t.Fatalf("stats = %+v, want no cancellations", st)
+	}
+}
+
+// TestAbandonRefusedWithoutContext: Begin (no context) pins the call to
+// run unconditionally, and a settled call can never be abandoned.
+func TestAbandonRefusedWithoutContext(t *testing.T) {
+	g := New[string, int](0, 0, nil)
+	c, _ := g.Begin("k")
+	if g.Abandon("k", c, context.Canceled) {
+		t.Fatal("Abandon dropped a background-context call")
+	}
+	c.Fulfill(1, nil)
+	if g.Abandon("k", c, context.Canceled) {
+		t.Fatal("Abandon dropped a settled call")
+	}
+	if g.Abandon("missing", c, context.Canceled) {
+		t.Fatal("Abandon matched a key that was never registered")
 	}
 }
 
