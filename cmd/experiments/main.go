@@ -44,6 +44,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	groups := flag.String("groups", "", "comma-separated group filter (e.g. MEM2,MEM4)")
 	workers := flag.Int("j", 0, "concurrent simulations (0 = all cores)")
+	storeDir := flag.String("store-dir", "", "persistent on-disk result store directory (empty = disabled); repeated runs over one directory skip already-simulated cells")
+	storeBytes := flag.Int64("store-bytes", 0, "on-disk result store byte bound (0 = unbounded)")
 	flag.Parse()
 
 	// Record which flags the user actually set: defaults must not clobber
@@ -69,6 +71,8 @@ func main() {
 		opt.Seed = *seed
 	}
 	opt.Workers = *workers
+	opt.StoreDir = *storeDir
+	opt.StoreBytes = *storeBytes
 
 	// Ctrl-C / SIGTERM cancels the session context: queued simulations are
 	// never started, running ones finish, and the harness exits promptly

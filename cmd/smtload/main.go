@@ -20,6 +20,14 @@
 // any mismatch or transport failure exits 1 after printing a diff
 // summary. On success the daemon's /v1/metrics document prints to stdout
 // (ready for jq in CI).
+//
+// -restart-check is the warm-restart proof for a daemon running with
+// -store-dir: run smtload once against a fresh daemon (populating the
+// persistent store), kill and restart the daemon on the same directory,
+// then run smtload again with the same -seed plus -restart-check. The
+// replay must be byte-identical as usual, AND the daemon must have
+// simulated nothing: every cell served from disk (diskHits > 0,
+// diskMisses == 0 in /v1/metrics), or smtload exits 1.
 package main
 
 import (
@@ -46,6 +54,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "spec generation seed")
 	traceLen := flag.Int("tracelen", 1500, "per-thread trace length pinned into every spec")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-request timeout")
+	restartCheck := flag.Bool("restart-check", false,
+		"assert the daemon served every cell from its persistent store (diskHits > 0, diskMisses == 0)")
 	flag.Parse()
 	if *n <= 0 || *repeat <= 0 {
 		fmt.Fprintln(os.Stderr, "smtload: -n and -repeat must be positive")
@@ -119,8 +129,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "smtload: metrics: %v\n", err)
 		os.Exit(1)
 	}
-	defer resp.Body.Close()
-	io.Copy(os.Stdout, resp.Body)
+	metricsBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smtload: metrics: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(metricsBody)
+
+	if *restartCheck {
+		// The byte-equality pass above proved the restarted daemon's
+		// answers; this proves their provenance — all disk, zero fresh
+		// simulations.
+		var doc struct {
+			DiskHits   uint64 `json:"diskHits"`
+			DiskMisses uint64 `json:"diskMisses"`
+		}
+		if err := json.Unmarshal(metricsBody, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "smtload: restart-check: decoding metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if doc.DiskHits == 0 || doc.DiskMisses != 0 {
+			fmt.Fprintf(os.Stderr,
+				"smtload: restart-check FAILED: diskHits=%d diskMisses=%d, want every cell served from the store (diskHits > 0, diskMisses == 0)\n",
+				doc.DiskHits, doc.DiskMisses)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "smtload: restart-check OK: %d cells served from disk, 0 simulated\n", doc.DiskHits)
+	}
 }
 
 // gen is one deterministic generated request: a spec plus its format.

@@ -19,7 +19,8 @@
 //	    {"error"} NDJSON line terminating the stream.
 //	GET /v1/metrics
 //	    Cache hit/miss/eviction/in-flight counters, configured bounds,
-//	    and request/row totals, as JSON.
+//	    request/row totals, and (when -store-dir is set) the persistent
+//	    store's diskHits/diskMisses/diskBytes/diskEvictions, as JSON.
 //	GET /healthz
 //	    Liveness probe; 200 "ok".
 //
@@ -28,6 +29,16 @@
 // arbitrary client sweeps recycle memory instead of growing the process,
 // while in-flight simulations are never evicted and repeated identical
 // sweeps stay cache hits.
+//
+// With -store-dir the daemon adds a persistent on-disk tier beneath the
+// memory cache (internal/resultstore): every completed simulation is
+// written behind its result, a memory miss probes the store before
+// simulating, and -store-bytes bounds the directory's footprint
+// (least-recently-accessed entries are deleted past it). Simulations are
+// deterministic pure functions of (workload, config), so a killed and
+// restarted daemon — or a second daemon sharing the directory — serves
+// previously-run sweeps byte-identically without re-simulating them;
+// `smtload -restart-check` proves exactly that against a live daemon.
 //
 // Cancellation is first-class: every sweep executes under its request's
 // context, so a client that disconnects mid-sweep stops consuming the
@@ -45,6 +56,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -67,6 +79,8 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
 	maxCells := flag.Int64("max-cells", 4096, "maximum grid cells (workloads x combos) per request (0 = unbounded)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline for in-flight responses")
+	storeDir := flag.String("store-dir", "", "persistent on-disk result store directory (empty = disabled)")
+	storeBytes := flag.Int64("store-bytes", 0, "on-disk result store byte bound (0 = unbounded)")
 	flag.Parse()
 
 	opt := experiments.Default()
@@ -76,6 +90,8 @@ func main() {
 	opt.Workers = *workers
 	opt.CacheEntries = *entries
 	opt.CacheBytes = *bytes
+	opt.StoreDir = *storeDir
+	opt.StoreBytes = *storeBytes
 
 	srv, err := newServer(opt, *maxBody)
 	if err != nil {
@@ -83,6 +99,9 @@ func main() {
 		os.Exit(1)
 	}
 	srv.maxCells = *maxCells
+	if *storeDir != "" {
+		log.Printf("smtsimd persistent result store at %s (bound %d bytes)", *storeDir, *storeBytes)
+	}
 	log.Printf("smtsimd listening on %s (cache bounds: %d entries, %d bytes)", *addr, *entries, *bytes)
 	// No WriteTimeout: NDJSON responses legitimately stream for as long
 	// as a sweep simulates. Header and idle timeouts still bound what a
@@ -245,7 +264,6 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.rows.Add(uint64(len(rs.Rows)))
 	switch format {
 	case "table":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -254,12 +272,42 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	case "csv":
 		w.Header().Set("Content-Type", "text/csv")
 	}
-	if err := rs.Emit(w, format); err != nil {
-		// The sweep itself succeeded; the only thing that can fail here
-		// is writing the rendered result to the client's connection —
-		// client behavior, never a simulation failure.
-		s.canceled.Add(1)
+	// Emit through a writer that marks connection failures with
+	// errClientWrite, so a dead client (canceled) is distinguishable from
+	// a server-side render/encode failure (failures) — the same
+	// classification the streaming path applies per row. Rows count only
+	// once the whole render lands: counting len(rs.Rows) up front credited
+	// failed writes with every row while the NDJSON path counted only
+	// successfully encoded ones.
+	if err := rs.Emit(clientWriter{w}, format); err != nil {
+		s.countEmitError(ctx, err)
+		return
 	}
+	s.rows.Add(uint64(len(rs.Rows)))
+}
+
+// countEmitError classifies a failure to emit a completed sweep: client
+// write trouble (dead connection, canceled request) counts as canceled,
+// anything else — a server-side render or encode failure — as failures,
+// per the metricsDoc contract.
+func (s *server) countEmitError(ctx context.Context, err error) {
+	if !s.clientGone(ctx, err) {
+		s.failures.Add(1)
+	}
+}
+
+// clientWriter wraps a buffered response so that connection-write errors
+// inside ResultSet.Emit surface wrapped in errClientWrite. Emitters only
+// ever see this writer fail on the transport, so any other error they
+// return is the server's own rendering trouble.
+type clientWriter struct{ w io.Writer }
+
+func (cw clientWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if err != nil {
+		return n, fmt.Errorf("%w: %v", errClientWrite, err)
+	}
+	return n, nil
 }
 
 // errClientWrite marks a response-write failure on the streaming path: a
@@ -309,12 +357,24 @@ func (s *server) streamScenario(ctx context.Context, w http.ResponseWriter, sp *
 // failed simulating or emitting; Canceled counts sweeps cut short by the
 // client going away (disconnects, resets) — the two are never conflated,
 // so a flaky client population cannot masquerade as simulator trouble.
+// The disk* fields describe the persistent result store and stay zero
+// when -store-dir is unset: diskHits are memory-cache misses served from
+// disk without simulating, diskMisses are probes that fell through to a
+// fresh simulation, diskBytes/diskEvictions track the bounded footprint,
+// and diskWriteErrors counts results that failed to persist (write-behind
+// is best-effort, so a full or read-only store dir shows up here — and
+// nowhere else — before a restart re-simulates everything).
 type metricsDoc struct {
-	Cache    simcache.Stats `json:"cache"`
-	Requests uint64         `json:"requests"`
-	Failures uint64         `json:"failures"`
-	Canceled uint64         `json:"canceled"`
-	Rows     uint64         `json:"rows"`
+	Cache           simcache.Stats `json:"cache"`
+	Requests        uint64         `json:"requests"`
+	Failures        uint64         `json:"failures"`
+	Canceled        uint64         `json:"canceled"`
+	Rows            uint64         `json:"rows"`
+	DiskHits        uint64         `json:"diskHits"`
+	DiskMisses      uint64         `json:"diskMisses"`
+	DiskBytes       int64          `json:"diskBytes"`
+	DiskEvictions   uint64         `json:"diskEvictions"`
+	DiskWriteErrors uint64         `json:"diskWriteErrors"`
 }
 
 // handleMetrics reports cache effectiveness and serving counters.
@@ -322,11 +382,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	disk := s.session.StoreStats()
 	enc.Encode(metricsDoc{
-		Cache:    s.session.CacheStats(),
-		Requests: s.requests.Load(),
-		Failures: s.failures.Load(),
-		Canceled: s.canceled.Load(),
-		Rows:     s.rows.Load(),
+		Cache:           s.session.CacheStats(),
+		Requests:        s.requests.Load(),
+		Failures:        s.failures.Load(),
+		Canceled:        s.canceled.Load(),
+		Rows:            s.rows.Load(),
+		DiskHits:        disk.Hits,
+		DiskMisses:      disk.Misses,
+		DiskBytes:       disk.Bytes,
+		DiskEvictions:   disk.Evictions,
+		DiskWriteErrors: disk.WriteErrors,
 	})
 }

@@ -346,6 +346,134 @@ func TestClientDisconnectStopsSweep(t *testing.T) {
 	}
 }
 
+// failingWriter is a ResponseWriter whose connection is dead: every
+// write fails. It stands in for a client that vanished between the sweep
+// finishing and the response being rendered.
+type failingWriter struct {
+	h      http.Header
+	status int
+}
+
+func (f *failingWriter) Header() http.Header {
+	if f.h == nil {
+		f.h = http.Header{}
+	}
+	return f.h
+}
+func (f *failingWriter) WriteHeader(code int)      { f.status = code }
+func (f *failingWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("broken pipe") }
+
+// TestRowsNotCountedOnWriteFailure is the regression test for the
+// buffered-path rows over-count: when every write to the client fails,
+// the NDJSON path and the buffered paths must agree that zero rows were
+// served — the buffered path used to credit len(rs.Rows) before Emit ran.
+// Both failures are client behavior, so they must count as canceled, not
+// failures.
+func TestRowsNotCountedOnWriteFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	s, _ := newTestServer(t, testOptions())
+	rowsBy := map[string]uint64{}
+	for _, format := range []string{"ndjson", "json", "table", "csv"} {
+		before := s.rows.Load()
+		req := httptest.NewRequest(http.MethodPost, "/v1/scenario?format="+format, strings.NewReader(testSpec))
+		s.handleScenario(&failingWriter{}, req)
+		rowsBy[format] = s.rows.Load() - before
+	}
+	for format, rows := range rowsBy {
+		if rows != rowsBy["ndjson"] {
+			t.Errorf("rows counted on a dead connection disagree: %s = %d, ndjson = %d",
+				format, rows, rowsBy["ndjson"])
+		}
+		if rows != 0 {
+			t.Errorf("%s: counted %d rows served on a connection that accepted zero bytes", format, rows)
+		}
+	}
+	if got := s.canceled.Load(); got != 4 {
+		t.Errorf("canceled = %d, want 4 (every dead-connection response)", got)
+	}
+	if got := s.failures.Load(); got != 0 {
+		t.Errorf("failures = %d, want 0: client write trouble is not simulator trouble", got)
+	}
+}
+
+// TestEmitErrorClassification locks the metricsDoc contract for buffered
+// emit errors: connection-write failures (errClientWrite) and dead
+// request contexts count as canceled; any other emit error is a
+// server-side render/encode failure and counts as failures.
+func TestEmitErrorClassification(t *testing.T) {
+	s, err := newServer(testOptions(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	deadCtx, cancel := context.WithCancel(ctx)
+	cancel()
+	for _, tc := range []struct {
+		name       string
+		ctx        context.Context
+		err        error
+		wantFail   uint64
+		wantCancel uint64
+	}{
+		{"server-side render failure", ctx, fmt.Errorf("json: unsupported value"), 1, 0},
+		{"connection write failure", ctx, fmt.Errorf("scenario x: %w: reset", errClientWrite), 1, 1},
+		{"request context dead", deadCtx, fmt.Errorf("anything"), 1, 2},
+	} {
+		s.countEmitError(tc.ctx, tc.err)
+		if got := s.failures.Load(); got != tc.wantFail {
+			t.Errorf("%s: failures = %d, want %d", tc.name, got, tc.wantFail)
+		}
+		if got := s.canceled.Load(); got != tc.wantCancel {
+			t.Errorf("%s: canceled = %d, want %d", tc.name, got, tc.wantCancel)
+		}
+	}
+}
+
+// TestRestartServesFromDisk is the warm-restart contract end to end: a
+// daemon with a persistent store is torn down after a sweep; a fresh
+// daemon over the same directory serves the identical sweep
+// byte-identically with zero new simulations — every memory-cache miss
+// becomes a disk hit.
+func TestRestartServesFromDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	opt := testOptions()
+	opt.StoreDir = t.TempDir()
+
+	_, ts1 := newTestServer(t, opt)
+	status, want := post(t, ts1.URL+"/v1/scenario", testSpec)
+	if status != http.StatusOK {
+		t.Fatalf("cold sweep status = %d, body %s", status, want)
+	}
+	cold := getMetrics(t, ts1.URL)
+	if cold.DiskMisses == 0 || cold.DiskHits != 0 || cold.DiskBytes == 0 {
+		t.Fatalf("cold daemon disk stats = %+v, want only misses and a populated store", cold)
+	}
+	ts1.Close() // the kill
+
+	_, ts2 := newTestServer(t, opt) // the restart, same -store-dir
+	status, got := post(t, ts2.URL+"/v1/scenario", testSpec)
+	if status != http.StatusOK {
+		t.Fatalf("warm sweep status = %d, body %s", status, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("restarted daemon response differs from pre-restart response:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	warm := getMetrics(t, ts2.URL)
+	if warm.DiskMisses != 0 {
+		t.Errorf("restarted daemon simulated %d cells, want 0 (all from disk): %+v", warm.DiskMisses, warm)
+	}
+	if warm.DiskHits == 0 {
+		t.Errorf("restarted daemon served no disk hits: %+v", warm)
+	}
+	if warm.Failures != 0 || warm.Canceled != 0 {
+		t.Errorf("restarted daemon counters dirty: %+v", warm)
+	}
+}
+
 // TestTinyTraceAllFormats runs a deliberately starved configuration —
 // tiny trace, cycle budget low enough to truncate — through every output
 // format: truncated rows must emit cleanly (finite JSON numbers, no

@@ -59,6 +59,31 @@
 // requests at a live daemon and asserts each response is bit-identical to
 // a sequential in-process run of the same spec.
 //
+// # Persistent results
+//
+// Beneath the in-memory cache sits an optional on-disk tier,
+// internal/resultstore (experiments.Options.StoreDir/StoreBytes;
+// -store-dir/-store-bytes on smtsimd and cmd/experiments). Every
+// simulation is a deterministic pure function of (workload,
+// core.Config.Canonical()), so its result can be persisted and replayed:
+// a memory-cache miss probes the store before simulating, and every
+// completed simulation is written behind its result (atomic
+// temp-file-then-rename, so a killed process never leaves a torn entry).
+// Entries are content-addressed files carrying a versioned,
+// self-describing header — schema version, config fingerprint, workload
+// name, and the full canonical configuration — plus a checksum trailer;
+// anything unexpected on read (truncation, corruption, a stale schema
+// version, an identity mismatch) is a clean miss that deletes the entry
+// and recomputes, never a wrong answer. The store is byte-bounded:
+// least-recently-accessed entries are deleted past StoreBytes, with
+// recency persisted in file modification times. A killed-and-restarted
+// smtsimd over the same -store-dir therefore serves previously-run
+// sweeps byte-identically with zero new simulations (visible as
+// diskHits with diskMisses == 0 in /v1/metrics, alongside diskBytes and
+// diskEvictions), and several daemons may share one directory —
+// `smtload -restart-check` proves the contract against a live daemon,
+// and the restart-smoke CI job replays it on every push.
+//
 // # Cancellation and shutdown
 //
 // Execution is cancellation-correct at every layer. The session's worker

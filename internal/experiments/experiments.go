@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/resultstore"
 	"repro/internal/scenario"
 	"repro/internal/simcache"
 	"repro/internal/stats"
@@ -60,6 +61,17 @@ type Options struct {
 	// costs recomputation (results are deterministic), never correctness.
 	CacheEntries int
 	CacheBytes   int64
+	// StoreDir, when non-empty, enables the persistent on-disk result
+	// tier (internal/resultstore) beneath the in-memory cache: a memory
+	// miss probes the store before simulating, and every completed
+	// simulation is written behind the fulfilled result. Because each
+	// simulation is a deterministic pure function of (workload, config),
+	// a restarted process pointed at the same directory serves previous
+	// sweeps without re-simulating, and several processes may share one
+	// directory. StoreBytes bounds the store's on-disk footprint
+	// (least-recently-accessed entries are deleted past it; 0 = unbounded).
+	StoreDir   string
+	StoreBytes int64
 }
 
 // Default returns the full-suite options.
@@ -124,6 +136,7 @@ type Session struct {
 	opt   Options
 	base  core.Config
 	cache *simcache.Cache[runKey, *core.Result]
+	store *resultstore.Store // nil unless Options.StoreDir is set
 
 	mu         sync.Mutex
 	queue      []job // FIFO of cells not yet picked up by a worker
@@ -167,11 +180,19 @@ func NewSession(opt Options) (*Session, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	var store *resultstore.Store
+	if opt.StoreDir != "" {
+		var err error
+		if store, err = resultstore.Open(opt.StoreDir, opt.StoreBytes); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+	}
 	return &Session{
 		opt:        opt,
 		base:       base,
 		maxWorkers: workers,
 		cache:      simcache.New[runKey, *core.Result](opt.CacheEntries, opt.CacheBytes, resultBytes),
+		store:      store,
 	}, nil
 }
 
@@ -193,6 +214,15 @@ func resultBytes(r *core.Result) int64 {
 // CacheStats snapshots the simulation cache's hit/miss/eviction counters
 // and current population (the smtsimd /v1/metrics payload).
 func (s *Session) CacheStats() simcache.Stats { return s.cache.Stats() }
+
+// StoreStats snapshots the persistent result store's counters; the zero
+// Stats when the session runs without a store (Options.StoreDir empty).
+func (s *Session) StoreStats() resultstore.Stats {
+	if s.store == nil {
+		return resultstore.Stats{}
+	}
+	return s.store.Stats()
+}
 
 // BaseConfig returns the configuration scenario deltas apply onto: the
 // Table 1 machine scaled by this session's Options.
@@ -252,9 +282,27 @@ func (s *Session) StartRunCtx(ctx context.Context, w workload.Workload, cfg core
 		return c
 	}
 	s.dispatch(job{key: key, call: c, run: func() (*core.Result, error) {
+		// Disk tier: a memory miss probes the persistent store before
+		// simulating — a stored result is bit-identical to what the
+		// simulation would produce (deterministic pure function of the
+		// key), so a hit skips the simulation entirely. In-flight dedup
+		// stays purely in-memory: the singleflight entry was already
+		// registered above, so one key never probes or simulates twice
+		// concurrently.
+		if s.store != nil {
+			if r, ok := s.store.Get(w.Name(), cfg); ok {
+				return r, nil
+			}
+		}
 		r, err := core.Run(cfg, w)
 		if err != nil {
 			return nil, fmt.Errorf("%s under %s: %w", w.Name(), cfg.Policy, err)
+		}
+		if s.store != nil {
+			// Write-behind: persistence is best-effort — a full disk or
+			// unwritable store costs future recomputation, never this
+			// result. Failures are visible in StoreStats().WriteErrors.
+			_ = s.store.Put(w.Name(), cfg, r)
 		}
 		return r, nil
 	}})

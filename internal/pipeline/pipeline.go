@@ -230,6 +230,13 @@ func (c *Core) sample(uint64) {
 // Cycle returns the current cycle number.
 func (c *Core) Cycle() uint64 { return c.cycle }
 
+// SetCycle forces the cycle counter. It exists so tests can probe
+// cycle-dependent policy arithmetic at counts unreachable by stepping
+// (e.g. round-robin rotation past 2^63); simulation code never calls it,
+// and calling it on a machine with in-flight state would desynchronize
+// every busy-until comparison.
+func (c *Core) SetCycle(n uint64) { c.cycle = n }
+
 // NumThreads returns the number of hardware contexts.
 func (c *Core) NumThreads() int { return len(c.threads) }
 

@@ -19,7 +19,10 @@ func (RoundRobin) Name() string { return "RR" }
 // FetchPriority implements pipeline.Policy with a cycle-rotating order.
 func (RoundRobin) FetchPriority(c *pipeline.Core, buf []int) []int {
 	n := c.NumThreads()
-	start := int(c.Cycle()) % n
+	// Reduce in uint64 before converting: int(c.Cycle()) % n truncates on
+	// 32-bit platforms and goes negative past 2^63, yielding out-of-range
+	// thread indices. The modulus always fits an int.
+	start := int(c.Cycle() % uint64(n))
 	for i := 0; i < n; i++ {
 		buf = append(buf, (start+i)%n)
 	}

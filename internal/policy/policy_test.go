@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/isa"
@@ -76,6 +77,39 @@ func TestRoundRobinRotates(t *testing.T) {
 	}
 	if a[0] == b[0] {
 		t.Fatal("round robin did not rotate")
+	}
+}
+
+// TestRoundRobinLargeCycle is the regression test for the uint64→int
+// truncation in FetchPriority: past 2^63 the old int(c.Cycle()) % n went
+// negative, emitting out-of-range (negative) thread indices. The
+// priority list must stay a permutation of the thread ids at any cycle
+// count, and consecutive cycles must still rotate by one.
+func TestRoundRobinLargeCycle(t *testing.T) {
+	c, err := pipeline.New(pipeline.DefaultConfig(),
+		[]*trace.Trace{ilpTrace(100), ilpTrace(100), ilpTrace(100)}, RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cycle := range []uint64{1<<63 + 5, math.MaxUint64 - 1, math.MaxUint64} {
+		c.SetCycle(cycle)
+		order := RoundRobin{}.FetchPriority(c, nil)
+		if len(order) != 3 {
+			t.Fatalf("cycle %d: priority length %d, want 3", cycle, len(order))
+		}
+		seen := map[int]bool{}
+		for _, tid := range order {
+			if tid < 0 || tid >= 3 {
+				t.Fatalf("cycle %d: out-of-range thread index %d in %v", cycle, tid, order)
+			}
+			seen[tid] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("cycle %d: priority %v is not a permutation", cycle, order)
+		}
+		if want := int(cycle % 3); order[0] != want {
+			t.Errorf("cycle %d: rotation starts at %d, want %d", cycle, order[0], want)
+		}
 	}
 }
 

@@ -1,0 +1,506 @@
+// Package resultstore is the persistent on-disk tier beneath the
+// experiment session's in-memory simulation cache: a content-addressed
+// directory of encoded core.Result values, keyed by (workload,
+// core.Config.Canonical()), that lets a restarted process — or a second
+// process pointed at the same directory — serve previously simulated
+// cells without re-simulating them. Every simulation here is a
+// deterministic pure function of its key, so a stored result is exactly
+// the result a recomputation would produce, and the store can never
+// serve anything a fresh run would not.
+//
+// # Format
+//
+// Entries are single files named by the SHA-256 of the key, holding a
+// versioned, self-describing record:
+//
+//	magic "SMRS" | schema version | fingerprint | workload | canonical
+//	config | result payload | CRC-32
+//
+// The header repeats the full identity of the entry (the short
+// core.Config.Fingerprint plus the collision-free canonical string and
+// the workload name), and the trailer checksums everything before it.
+// A reader that finds anything unexpected — wrong magic, a schema
+// version it does not speak, a checksum mismatch from truncation or
+// corruption, or a header identity that is not the key being asked for
+// — treats the entry as a clean miss and deletes it: the caller
+// recomputes and rewrites, and a damaged store degrades to recomputation,
+// never to a wrong answer.
+//
+// # Writes and eviction
+//
+// Writes are atomic: an entry is encoded to a temp file in the store
+// directory and renamed into place, so a crashed or killed writer can
+// leave at most a stale temp file (swept at the next Open), never a
+// half-written entry under a live name. Several processes may share one
+// directory — renames are atomic per entry and deterministic keys make
+// double-writes identical.
+//
+// The store is byte-bounded (MaxBytes; 0 = unbounded): when a write
+// pushes the tracked footprint past the bound, least-recently-accessed
+// entries are deleted until it fits. Access recency persists across
+// restarts through file modification times (bumped on every hit).
+// Eviction, like corruption, only ever costs recomputation.
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+const (
+	// magic opens every entry file.
+	magic = "SMRS"
+	// schemaVersion names the encoding this package writes. Any change to
+	// the payload layout (new core.Result fields, different field order)
+	// must bump it; readers treat every other version as a miss.
+	schemaVersion uint16 = 1
+	// suffix names entry files; anything else in the directory is ignored.
+	suffix = ".smtres"
+	// tmpPrefix names in-progress writes; stale ones (a writer killed
+	// between create and rename) are swept at Open.
+	tmpPrefix = ".tmp-"
+)
+
+// Stats is a point-in-time snapshot of store effectiveness, shaped for
+// the smtsimd /v1/metrics endpoint.
+type Stats struct {
+	// Hits counts Get calls served from disk; Misses counts Get calls
+	// that found nothing usable (absent, stale-version, corrupt, or
+	// mismatched entries all read as misses).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries deleted to respect MaxBytes.
+	Evictions uint64 `json:"evictions"`
+	// WriteErrors counts Put calls that failed to land an entry.
+	WriteErrors uint64 `json:"writeErrors"`
+	// Files and Bytes describe the tracked population.
+	Files int   `json:"files"`
+	Bytes int64 `json:"bytes"`
+	// MaxBytes echoes the configured bound (0 = unbounded).
+	MaxBytes int64 `json:"maxBytes"`
+}
+
+// fileEntry is the in-memory accounting for one entry file.
+type fileEntry struct {
+	size int64
+	seq  uint64 // logical access clock; highest = most recently used
+}
+
+// Store is the on-disk tier. All methods are safe for concurrent use.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*fileEntry // file name -> accounting
+	bytes   int64
+	seq     uint64
+	hits    uint64
+	misses  uint64
+	evicted uint64
+	werrs   uint64
+}
+
+// Open opens (creating if needed) a store rooted at dir, bounded to
+// maxBytes of entry files (0 = unbounded). Existing entries are adopted
+// with their file modification times as access recency, and the bound is
+// enforced immediately, so a shrunken bound takes effect at open.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultstore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes, entries: map[string]*fileEntry{}}
+
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	type adopted struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var found []adopted
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(de.Name(), tmpPrefix) {
+			// A writer died between create and rename. Temp files are
+			// invisible to lookups and exempt from the byte bound, so
+			// left alone they would leak disk across kill/restart cycles.
+			os.Remove(filepath.Join(dir, de.Name()))
+			continue
+		}
+		if !strings.HasSuffix(de.Name(), suffix) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with another process's eviction
+		}
+		found = append(found, adopted{de.Name(), info.Size(), info.ModTime()})
+	}
+	// Oldest first, so adopted entries get ascending sequence numbers and
+	// eviction order matches on-disk recency.
+	sort.Slice(found, func(i, j int) bool {
+		if !found[i].mtime.Equal(found[j].mtime) {
+			return found[i].mtime.Before(found[j].mtime)
+		}
+		return found[i].name < found[j].name
+	})
+	for _, f := range found {
+		s.seq++
+		s.entries[f.name] = &fileEntry{size: f.size, seq: s.seq}
+		s.bytes += f.size
+	}
+	s.mu.Lock()
+	s.evict()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// fileName derives the entry file for a key: content addressing by the
+// SHA-256 of the full identity, so distinct keys can never share a file.
+func fileName(workload, canonical string) string {
+	h := sha256.New()
+	h.Write([]byte(workload))
+	h.Write([]byte{0})
+	h.Write([]byte(canonical))
+	return hex.EncodeToString(h.Sum(nil)) + suffix
+}
+
+// Get probes the store for a previously stored result. Every failure
+// mode — no entry, unreadable file, wrong magic or schema version,
+// checksum mismatch, identity mismatch — is a miss (ok=false), and any
+// entry that decoded wrong is deleted so the post-recompute rewrite
+// starts clean. A hit returns a Result bit-identical to the one stored
+// and marks the entry most recently accessed.
+func (s *Store) Get(workload string, cfg core.Config) (*core.Result, bool) {
+	canonical := cfg.Canonical()
+	name := fileName(workload, canonical)
+	path := filepath.Join(s.dir, name)
+
+	// File I/O runs outside the lock: per-key dedup lives upstream (the
+	// session's singleflight cache), so the mutex only needs to cover the
+	// accounting — holding it across reads would serialize every worker's
+	// probe and stall Stats behind disk.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.mu.Lock()
+		s.misses++
+		// The file is gone or unreadable (e.g. deleted by a sharing
+		// process's GC): keeping its accounting would inflate Bytes and
+		// make evict chase ghosts.
+		s.forget(name)
+		s.mu.Unlock()
+		return nil, false
+	}
+	res, err := decodeEntry(data, cfg.Fingerprint(), workload, canonical)
+	if err != nil {
+		os.Remove(path)
+		s.mu.Lock()
+		s.misses++
+		s.forget(name)
+		s.mu.Unlock()
+		return nil, false
+	}
+	// Persist recency for the next process; best-effort.
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	s.mu.Lock()
+	s.hits++
+	s.seq++
+	if e, ok := s.entries[name]; ok {
+		e.seq = s.seq
+	} else {
+		// Written by another process sharing the directory: adopt it,
+		// then re-enforce the bound the adoption may have broken (a
+		// hit-only process must still respect MaxBytes).
+		s.entries[name] = &fileEntry{size: int64(len(data)), seq: s.seq}
+		s.bytes += int64(len(data))
+		s.evict()
+	}
+	s.mu.Unlock()
+	return res, true
+}
+
+// Put stores a result, atomically replacing any previous entry for the
+// key, then enforces the byte bound. Failures are counted and returned
+// but leave the store consistent: callers for whom persistence is
+// best-effort (the experiment session) may ignore the error.
+func (s *Store) Put(workload string, cfg core.Config, r *core.Result) error {
+	canonical := cfg.Canonical()
+	name := fileName(workload, canonical)
+	data := encodeEntry(schemaVersion, cfg.Fingerprint(), workload, canonical, r)
+
+	// Like Get, the write itself runs outside the lock; only the
+	// accounting (and eviction decisions) serialize.
+	fail := func(err error) error {
+		s.mu.Lock()
+		s.werrs++
+		s.mu.Unlock()
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fail(err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return fail(err)
+	}
+	s.mu.Lock()
+	s.forget(name) // replacing an entry drops its old accounting
+	s.seq++
+	s.entries[name] = &fileEntry{size: int64(len(data)), seq: s.seq}
+	s.bytes += int64(len(data))
+	s.evict()
+	s.mu.Unlock()
+	return nil
+}
+
+// forget drops an entry's accounting without touching the file or the
+// eviction counter. Caller holds mu.
+func (s *Store) forget(name string) {
+	if e, ok := s.entries[name]; ok {
+		s.bytes -= e.size
+		delete(s.entries, name)
+	}
+}
+
+// evict deletes least-recently-accessed entries until the byte bound
+// holds. Caller holds mu.
+func (s *Store) evict() {
+	for s.maxBytes > 0 && s.bytes > s.maxBytes && len(s.entries) > 0 {
+		victim, min := "", uint64(math.MaxUint64)
+		for name, e := range s.entries {
+			if e.seq < min {
+				victim, min = name, e.seq
+			}
+		}
+		s.forget(victim)
+		s.evicted++
+		os.Remove(filepath.Join(s.dir, victim))
+	}
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits:        s.hits,
+		Misses:      s.misses,
+		Evictions:   s.evicted,
+		WriteErrors: s.werrs,
+		Files:       len(s.entries),
+		Bytes:       s.bytes,
+		MaxBytes:    s.maxBytes,
+	}
+}
+
+// ---- codec ----
+
+// encodeEntry renders one entry file: header (magic, version, identity),
+// payload (every core.Result field, floats as IEEE-754 bit patterns so
+// decode round-trips exactly), CRC-32 trailer over everything before it.
+// version is a parameter so compatibility tests can write stale entries;
+// production callers pass schemaVersion.
+func encodeEntry(version uint16, fingerprint, workload, canonical string, r *core.Result) []byte {
+	var b []byte
+	b = append(b, magic...)
+	b = binary.LittleEndian.AppendUint16(b, version)
+	b = appendString(b, fingerprint)
+	b = appendString(b, workload)
+	b = appendString(b, canonical)
+
+	b = appendString(b, r.Workload)
+	b = appendString(b, string(r.Policy))
+	b = binary.LittleEndian.AppendUint64(b, r.Cycles)
+	b = binary.LittleEndian.AppendUint64(b, r.ExecutedTotal)
+	b = binary.LittleEndian.AppendUint64(b, r.CommittedTotal)
+	b = appendBool(b, r.Truncated)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Threads)))
+	for i := range r.Threads {
+		t := &r.Threads[i]
+		b = appendString(b, t.Benchmark)
+		b = binary.LittleEndian.AppendUint64(b, t.Committed)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.IPC))
+		b = binary.LittleEndian.AppendUint64(b, t.Executed)
+		b = binary.LittleEndian.AppendUint64(b, t.L2MissLoads)
+		b = binary.LittleEndian.AppendUint64(b, t.RunaheadEpisodes)
+		b = binary.LittleEndian.AppendUint64(b, t.PseudoRetired)
+		b = binary.LittleEndian.AppendUint64(b, t.Folded)
+		b = binary.LittleEndian.AppendUint64(b, t.PrefetchesIssued)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.RegsNormal))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.RegsRunahead))
+		b = binary.LittleEndian.AppendUint64(b, t.CyclesInRunahead)
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// decodeEntry parses and verifies one entry file against the key the
+// caller is looking up. Every defect returns an error — the store maps
+// them all to a miss.
+func decodeEntry(data []byte, fingerprint, workload, canonical string) (*core.Result, error) {
+	if len(data) < len(magic)+2+4 {
+		return nil, fmt.Errorf("resultstore: entry too short (%d bytes)", len(data))
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	d := &decoder{data: body}
+	if string(d.bytes(len(magic))) != magic {
+		return nil, fmt.Errorf("resultstore: bad magic")
+	}
+	if v := d.uint16(); v != schemaVersion {
+		return nil, fmt.Errorf("resultstore: schema version %d, want %d", v, schemaVersion)
+	}
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("resultstore: checksum mismatch")
+	}
+	if got := d.string(); got != fingerprint {
+		return nil, fmt.Errorf("resultstore: fingerprint %q, want %q", got, fingerprint)
+	}
+	if got := d.string(); got != workload {
+		return nil, fmt.Errorf("resultstore: workload %q, want %q", got, workload)
+	}
+	if got := d.string(); got != canonical {
+		return nil, fmt.Errorf("resultstore: canonical config mismatch")
+	}
+
+	r := &core.Result{
+		Workload:       d.string(),
+		Policy:         core.PolicyKind(d.string()),
+		Cycles:         d.uint64(),
+		ExecutedTotal:  d.uint64(),
+		CommittedTotal: d.uint64(),
+		Truncated:      d.bool(),
+	}
+	n := d.uint32()
+	if d.err == nil && uint64(n)*89 > uint64(len(body)) { // 89 = minimum encoded thread size
+		return nil, fmt.Errorf("resultstore: implausible thread count %d", n)
+	}
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		r.Threads = append(r.Threads, core.ThreadResult{
+			Benchmark:        d.string(),
+			Committed:        d.uint64(),
+			IPC:              math.Float64frombits(d.uint64()),
+			Executed:         d.uint64(),
+			L2MissLoads:      d.uint64(),
+			RunaheadEpisodes: d.uint64(),
+			PseudoRetired:    d.uint64(),
+			Folded:           d.uint64(),
+			PrefetchesIssued: d.uint64(),
+			RegsNormal:       math.Float64frombits(d.uint64()),
+			RegsRunahead:     math.Float64frombits(d.uint64()),
+			CyclesInRunahead: d.uint64(),
+		})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("resultstore: %d trailing bytes", len(body)-d.off)
+	}
+	return r, nil
+}
+
+// appendString appends a length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// appendBool appends a bool as one byte.
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// decoder is a bounds-checked cursor over an entry body: the first
+// overrun latches err and every later read returns zero values, so
+// decodeEntry can parse straight-line and check once.
+type decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil || n < 0 || len(d.data)-d.off < n {
+		if d.err == nil {
+			d.err = fmt.Errorf("resultstore: truncated entry")
+		}
+		return nil
+	}
+	out := d.data[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *decoder) uint16() uint16 {
+	b := d.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) uint32() uint32 {
+	b := d.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) uint64() uint64 {
+	b := d.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) bool() bool {
+	b := d.bytes(1)
+	return b != nil && b[0] != 0
+}
+
+func (d *decoder) string() string {
+	n := d.uint32()
+	if d.err == nil && uint64(n) > uint64(len(d.data)-d.off) {
+		d.err = fmt.Errorf("resultstore: truncated entry")
+		return ""
+	}
+	return string(d.bytes(int(n)))
+}
