@@ -46,6 +46,9 @@ func main() {
 	workers := flag.Int("j", 0, "concurrent simulations (0 = all cores)")
 	storeDir := flag.String("store-dir", "", "persistent on-disk result store directory (empty = disabled); repeated runs over one directory skip already-simulated cells")
 	storeBytes := flag.Int64("store-bytes", 0, "on-disk result store byte bound (0 = unbounded)")
+	traceDir := flag.String("trace-dir", "", "persistent on-disk trace store directory (empty = disabled); repeated runs skip trace regeneration")
+	traceBytes := flag.Int64("trace-bytes", 0, "on-disk trace store byte bound (0 = unbounded)")
+	batch := flag.Int("batch", 0, "configs executed per shared-trace batch (0 = default, 1 = unbatched)")
 	flag.Parse()
 
 	// Record which flags the user actually set: defaults must not clobber
@@ -73,6 +76,9 @@ func main() {
 	opt.Workers = *workers
 	opt.StoreDir = *storeDir
 	opt.StoreBytes = *storeBytes
+	opt.TraceDir = *traceDir
+	opt.TraceBytes = *traceBytes
+	opt.BatchConfigs = *batch
 
 	// Ctrl-C / SIGTERM cancels the session context: queued simulations are
 	// never started, running ones finish, and the harness exits promptly

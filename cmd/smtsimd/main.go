@@ -19,8 +19,10 @@
 //	    {"error"} NDJSON line terminating the stream.
 //	GET /v1/metrics
 //	    Cache hit/miss/eviction/in-flight counters, configured bounds,
-//	    request/row totals, and (when -store-dir is set) the persistent
-//	    store's diskHits/diskMisses/diskBytes/diskEvictions, as JSON.
+//	    request/row totals, the trace tier's hit/miss/generated counters
+//	    (under "trace"), batch counters, and (when -store-dir is set) the
+//	    persistent store's diskHits/diskMisses/diskBytes/diskEvictions,
+//	    as JSON.
 //	GET /healthz
 //	    Liveness probe; 200 "ok".
 //
@@ -39,6 +41,15 @@
 // restarted daemon — or a second daemon sharing the directory — serves
 // previously-run sweeps byte-identically without re-simulating them;
 // `smtload -restart-check` proves exactly that against a live daemon.
+//
+// Generated instruction traces are served from a byte-bounded in-memory
+// trace tier shared by every cell of every sweep: N configurations of
+// one workload decode the trace once, and single-thread fairness
+// references reuse the traces their SMT runs already generated. With
+// -trace-dir the tier persists traces on disk (versioned, checksummed;
+// corrupt files read as misses) so restarts skip regeneration; -batch
+// controls how many configurations advance over one shared trace in a
+// single batched pass (results are bit-identical either way).
 //
 // Cancellation is first-class: every sweep executes under its request's
 // context, so a client that disconnects mid-sweep stops consuming the
@@ -68,6 +79,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 	"repro/internal/simcache"
+	"repro/internal/tracestore"
 )
 
 func main() {
@@ -81,6 +93,9 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline for in-flight responses")
 	storeDir := flag.String("store-dir", "", "persistent on-disk result store directory (empty = disabled)")
 	storeBytes := flag.Int64("store-bytes", 0, "on-disk result store byte bound (0 = unbounded)")
+	traceDir := flag.String("trace-dir", "", "persistent on-disk trace store directory (empty = disabled)")
+	traceBytes := flag.Int64("trace-bytes", 0, "on-disk trace store byte bound (0 = unbounded)")
+	batch := flag.Int("batch", 0, "configs executed per shared-trace batch (0 = default, 1 = unbatched)")
 	flag.Parse()
 
 	opt := experiments.Default()
@@ -92,6 +107,9 @@ func main() {
 	opt.CacheBytes = *bytes
 	opt.StoreDir = *storeDir
 	opt.StoreBytes = *storeBytes
+	opt.TraceDir = *traceDir
+	opt.TraceBytes = *traceBytes
+	opt.BatchConfigs = *batch
 
 	srv, err := newServer(opt, *maxBody)
 	if err != nil {
@@ -364,17 +382,26 @@ func (s *server) streamScenario(ctx context.Context, w http.ResponseWriter, sp *
 // and diskWriteErrors counts results that failed to persist (write-behind
 // is best-effort, so a full or read-only store dir shows up here — and
 // nowhere else — before a restart re-simulates everything).
+// The trace object reports the shared trace tier: hits/misses/generated
+// count how often a grid cell's instruction traces were served from
+// memory versus generated fresh (disk* subfields mirror the persistent
+// tier enabled by -trace-dir), and batches/batchedCells count how much
+// simulation work rode the batched executor — K configurations advanced
+// over one shared trace in a single pass.
 type metricsDoc struct {
-	Cache           simcache.Stats `json:"cache"`
-	Requests        uint64         `json:"requests"`
-	Failures        uint64         `json:"failures"`
-	Canceled        uint64         `json:"canceled"`
-	Rows            uint64         `json:"rows"`
-	DiskHits        uint64         `json:"diskHits"`
-	DiskMisses      uint64         `json:"diskMisses"`
-	DiskBytes       int64          `json:"diskBytes"`
-	DiskEvictions   uint64         `json:"diskEvictions"`
-	DiskWriteErrors uint64         `json:"diskWriteErrors"`
+	Cache           simcache.Stats   `json:"cache"`
+	Requests        uint64           `json:"requests"`
+	Failures        uint64           `json:"failures"`
+	Canceled        uint64           `json:"canceled"`
+	Rows            uint64           `json:"rows"`
+	DiskHits        uint64           `json:"diskHits"`
+	DiskMisses      uint64           `json:"diskMisses"`
+	DiskBytes       int64            `json:"diskBytes"`
+	DiskEvictions   uint64           `json:"diskEvictions"`
+	DiskWriteErrors uint64           `json:"diskWriteErrors"`
+	Trace           tracestore.Stats `json:"trace"`
+	Batches         uint64           `json:"batches"`
+	BatchedCells    uint64           `json:"batchedCells"`
 }
 
 // handleMetrics reports cache effectiveness and serving counters.
@@ -383,6 +410,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	disk := s.session.StoreStats()
+	batches, cells := s.session.BatchStats()
 	enc.Encode(metricsDoc{
 		Cache:           s.session.CacheStats(),
 		Requests:        s.requests.Load(),
@@ -394,5 +422,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		DiskBytes:       disk.Bytes,
 		DiskEvictions:   disk.Evictions,
 		DiskWriteErrors: disk.WriteErrors,
+		Trace:           s.session.TraceStats(),
+		Batches:         batches,
+		BatchedCells:    cells,
 	})
 }

@@ -268,7 +268,10 @@ func TestClientDisconnectStopsSweep(t *testing.T) {
 		t.Skip("simulation run")
 	}
 	opt := testOptions()
-	opt.Workers = 1 // one running cell at a time: the rest must queue
+	opt.Workers = 1      // one running cell at a time: the rest must queue
+	opt.BatchConfigs = 1 // scalar dispatch: this test pins the queued-cell
+	// abandonment contract (one cell in flight, seven queued); the batched
+	// path's mid-batch abandonment is TestClientDisconnectAbandonsBatch.
 	_, ts := newTestServer(t, opt)
 
 	// One workload × 8 ROB points: 8 grid cells behind a single worker.
@@ -342,6 +345,92 @@ func TestClientDisconnectStopsSweep(t *testing.T) {
 	}
 	after := getMetrics(t, ts.URL)
 	if after.Failures != 0 {
+		t.Errorf("failures after recovery sweep: %+v", after)
+	}
+}
+
+// TestClientDisconnectAbandonsBatch is the same serving contract on the
+// batched executor: with default batching, one workload's eight grid
+// cells run as a single round-robin batch, and a client that vanishes
+// mid-batch must stop it — cells whose only requester is gone are
+// dropped between rounds, un-fulfilled, their keys free to recompute.
+func TestClientDisconnectAbandonsBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	opt := testOptions()
+	opt.TraceLen = 16000
+	opt.Workers = 1
+	_, ts := newTestServer(t, opt)
+
+	var axes strings.Builder
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			axes.WriteString(",")
+		}
+		fmt.Fprintf(&axes, `{"label":"%d","delta":{"robSize":%d}}`, 64+16*i, 64+16*i)
+	}
+	spec := `{
+	  "name": "batch-disconnect-test",
+	  "workloads": {"adhoc": ["art+mcf"]},
+	  "base": {"traceLen": 16000, "maxCycles": 20000000, "seed": 13},
+	  "axes": [{"name": "rob", "points": [` + axes.String() + `]}],
+	  "metrics": ["throughput"]
+	}`
+
+	// Vanish while the batch is mid-flight, before any cell finishes.
+	// The first NDJSON row (and with it the response header) only exists
+	// once the first machine completes — several hundred milliseconds
+	// into this batch — so Do blocks and the cancel below lands with all
+	// eight cells still advancing behind the single worker.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/scenario", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	time.Sleep(150 * time.Millisecond)
+	cancel()
+	if err := <-done; err == nil {
+		t.Log("response arrived before the cancel; relying on drain assertions below")
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var doc metricsDoc
+	for {
+		doc = getMetrics(t, ts.URL)
+		if doc.Cache.InFlight == 0 && doc.Canceled > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch never drained after disconnect: %+v", doc)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if doc.Failures != 0 {
+		t.Errorf("client disconnect counted as failure: %+v", doc)
+	}
+	if doc.Cache.Canceled == 0 {
+		t.Errorf("no batched cell was abandoned mid-batch: %+v", doc)
+	}
+
+	// The daemon is undamaged: a patient client gets the full sweep,
+	// re-simulating the abandoned cells.
+	status, body := post(t, ts.URL+"/v1/scenario", spec)
+	if status != http.StatusOK {
+		t.Fatalf("post-disconnect sweep status = %d, body %s", status, body)
+	}
+	if n := bytes.Count(body, []byte("\n")); n != 8 {
+		t.Errorf("post-disconnect sweep rows = %d, want 8", n)
+	}
+	if after := getMetrics(t, ts.URL); after.Failures != 0 {
 		t.Errorf("failures after recovery sweep: %+v", after)
 	}
 }

@@ -84,6 +84,35 @@
 // `smtload -restart-check` proves the contract against a live daemon,
 // and the restart-smoke CI job replays it on every push.
 //
+// # Trace tier and batched execution
+//
+// Instruction traces are the other deduplicated artifact. Every trace
+// has a pure identity — (benchmark, length, per-context derived seed,
+// address-space placement; workload.ContextOptions) — and
+// internal/tracestore serves all of them from a concurrency-safe,
+// singleflight, byte-bounded LRU (experiments.Options.TraceCacheBytes),
+// so N grid cells that differ only in machine configuration decode one
+// shared trace instead of regenerating it N times, and a workload's
+// single-thread fairness references reuse the context-0 traces the SMT
+// runs already produced. Like results, traces can persist: -trace-dir /
+// -trace-bytes (experiments.Options.TraceDir/TraceBytes) add an on-disk
+// tier with the same discipline as the result store — versioned
+// checksummed entries (trace.CodecVersion), atomic writes, corrupt or
+// stale files read as misses, byte-bounded LRU eviction.
+//
+// Batched execution turns that sharing into locality: cells of one
+// workload that agree on trace identity are grouped
+// (experiments.Options.BatchConfigs per group, default 8; -batch on the
+// CLIs) and executed by core.RunBatch, which advances K independent
+// pipeline.Core instances round-robin over the one shared trace — one
+// trace materialization feeds N pipelines in a single pass. Each core
+// owns all its mutable state and traces are immutable after generation,
+// so batched results are bit-identical to scalar runs — guaranteed by
+// TestRunBatchMatchesRun (deep equality per config) and
+// TestBatchedMatchesScalar (byte equality of every output format on
+// every shipped example sweep), with batches/batchedCells and the trace
+// tier's counters visible in /v1/metrics.
+//
 // # Cancellation and shutdown
 //
 // Execution is cancellation-correct at every layer. The session's worker

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/tracestore"
+	"repro/internal/workload"
+)
+
+// batchTestConfig keeps batch-equivalence runs short while still crossing
+// both phases and some runahead activity.
+func batchTestConfig(policy PolicyKind) Config {
+	cfg := DefaultConfig()
+	cfg.Policy = policy
+	cfg.TraceLen = 2000
+	cfg.MaxCycles = 2_000_000
+	return cfg
+}
+
+// TestRunBatchMatchesRun is the core batching invariant: for every
+// configuration in a batch, the batched result is deeply equal — every
+// counter, cycle count and float — to a standalone Run of that
+// configuration. The batch mixes policies and machine geometries so the
+// round-robin interleaving crosses states in different phases.
+func TestRunBatchMatchesRun(t *testing.T) {
+	w := workload.Workload{Group: "MEM2", Benchmarks: []string{"art", "mcf"}}
+	cfgs := []Config{
+		batchTestConfig(PolicyICount),
+		batchTestConfig(PolicyRaT),
+		batchTestConfig(PolicyFLUSH),
+		batchTestConfig(PolicyRaT),
+	}
+	cfgs[3].Pipeline.ROBSize = 128
+	cfgs[3].Pipeline.IntRegs = 160
+	cfgs[3].Pipeline.FPRegs = 160
+
+	batched, err := RunBatch(cfgs, w, tracestore.New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != len(cfgs) {
+		t.Fatalf("%d results for %d configs", len(batched), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		scalar, err := Run(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batched[i], scalar) {
+			t.Errorf("config %d (%s): batched result differs from scalar Run\nbatched: %+v\nscalar:  %+v",
+				i, cfg.Policy, batched[i], scalar)
+		}
+	}
+}
+
+// TestRunBatchSingleton pins the K=1 degenerate case to the scalar path's
+// exact output.
+func TestRunBatchSingleton(t *testing.T) {
+	w := workload.Workload{Group: "MIX2", Benchmarks: []string{"art", "gzip"}}
+	cfg := batchTestConfig(PolicyRaT)
+	batched, err := RunBatch([]Config{cfg}, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batched[0], scalar) {
+		t.Fatal("singleton batch differs from scalar Run")
+	}
+}
+
+func TestRunBatchEmpty(t *testing.T) {
+	out, err := RunBatch(nil, workload.Workload{Group: "X", Benchmarks: []string{"art"}}, nil)
+	if err != nil || out != nil {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}
+
+func TestRunBatchRejectsMixedTraceIdentity(t *testing.T) {
+	w := workload.Workload{Group: "MEM2", Benchmarks: []string{"art", "mcf"}}
+	a, b := batchTestConfig(PolicyICount), batchTestConfig(PolicyICount)
+	b.Seed = a.Seed + 1
+	if _, err := RunBatch([]Config{a, b}, w, nil); err == nil {
+		t.Fatal("no error for mixed seeds in one batch")
+	}
+	b = batchTestConfig(PolicyICount)
+	b.TraceLen = a.TraceLen * 2
+	if _, err := RunBatch([]Config{a, b}, w, nil); err == nil {
+		t.Fatal("no error for mixed trace lengths in one batch")
+	}
+}
+
+func TestRunBatchBadPolicyFailsBatch(t *testing.T) {
+	w := workload.Workload{Group: "MEM2", Benchmarks: []string{"art", "mcf"}}
+	cfgs := []Config{batchTestConfig(PolicyICount), batchTestConfig("no-such-policy")}
+	if _, err := RunBatch(cfgs, w, nil); err == nil {
+		t.Fatal("no error for unknown policy in batch")
+	}
+}
+
+// TestRunBatchSharesTraces asserts the point of batching: a K-config
+// batch generates each of the workload's trace identities exactly once.
+func TestRunBatchSharesTraces(t *testing.T) {
+	ts := tracestore.New(0)
+	w := workload.Workload{Group: "MEM2", Benchmarks: []string{"art", "mcf"}}
+	cfgs := []Config{
+		batchTestConfig(PolicyICount),
+		batchTestConfig(PolicyRaT),
+		batchTestConfig(PolicyFLUSH),
+	}
+	if _, err := RunBatch(cfgs, w, ts); err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.Generated(); got != uint64(len(w.Benchmarks)) {
+		t.Fatalf("batch of %d configs generated %d traces, want %d",
+			len(cfgs), got, len(w.Benchmarks))
+	}
+}
+
+// TestRunBatchObservedFinished: the Finished hook fires exactly once per
+// configuration, with the same Result the batch returns, and never after
+// an error (errors precede the first round).
+func TestRunBatchObservedFinished(t *testing.T) {
+	w := workload.Workload{Group: "MEM2", Benchmarks: []string{"art", "mcf"}}
+	cfgs := []Config{
+		batchTestConfig(PolicyICount),
+		batchTestConfig(PolicyRaT),
+		batchTestConfig(PolicyFLUSH),
+	}
+	finished := make(map[int]*Result)
+	out, err := RunBatchObserved(cfgs, w, nil, BatchObserver{
+		Finished: func(i int, r *Result) {
+			if _, dup := finished[i]; dup {
+				t.Errorf("Finished(%d) called twice", i)
+			}
+			finished[i] = r
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(finished) != len(cfgs) {
+		t.Fatalf("Finished fired %d times for %d configs", len(finished), len(cfgs))
+	}
+	for i := range cfgs {
+		if finished[i] != out[i] {
+			t.Errorf("config %d: Finished saw a different Result than the batch returned", i)
+		}
+	}
+
+	bad := []Config{batchTestConfig("no-such-policy")}
+	if _, err := RunBatchObserved(bad, w, nil, BatchObserver{
+		Finished: func(int, *Result) { t.Error("Finished fired on a failed batch") },
+	}); err == nil {
+		t.Fatal("no error for unknown policy")
+	}
+}
+
+// TestRunBatchObservedDrop: dropping a configuration mid-batch leaves
+// its slot nil, skips its Finished call, and does not perturb the other
+// machines — their results stay bit-identical to scalar runs.
+func TestRunBatchObservedDrop(t *testing.T) {
+	w := workload.Workload{Group: "MEM2", Benchmarks: []string{"art", "mcf"}}
+	cfgs := []Config{
+		batchTestConfig(PolicyICount),
+		batchTestConfig(PolicyRaT),
+		batchTestConfig(PolicyFLUSH),
+	}
+	dropped := false
+	out, err := RunBatchObserved(cfgs, w, nil, BatchObserver{
+		Finished: func(i int, r *Result) {
+			if i == 1 {
+				t.Error("Finished fired for the dropped config")
+			}
+		},
+		Drop: func(i int) bool {
+			if i == 1 && !dropped {
+				dropped = true
+				return true
+			}
+			return false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dropped {
+		t.Fatal("Drop was never consulted")
+	}
+	if out[1] != nil {
+		t.Error("dropped config produced a Result")
+	}
+	for _, i := range []int{0, 2} {
+		scalar, err := Run(cfgs[i], w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out[i], scalar) {
+			t.Errorf("config %d diverges from scalar Run after a mid-batch drop", i)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/simcache"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 	"repro/internal/workload"
 )
 
@@ -199,8 +200,10 @@ func buildPolicy(kind PolicyKind) (pipeline.Policy, runahead.Config, error) {
 	return nil, runahead.Config{}, fmt.Errorf("core: unknown policy %q", kind)
 }
 
-// Run executes workload w under cfg and returns its measurement.
-func Run(cfg Config, w workload.Workload) (*Result, error) {
+// withRunDefaults fills in the zero config fields Run documents as
+// defaulted. Trace identity (TraceLen, Seed) is fixed after this, which
+// batch grouping relies on.
+func (cfg Config) withRunDefaults() Config {
 	if cfg.TraceLen <= 0 {
 		cfg.TraceLen = trace.DefaultLen
 	}
@@ -210,6 +213,38 @@ func Run(cfg Config, w workload.Workload) (*Result, error) {
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = DefaultConfig().MaxCycles
 	}
+	return cfg
+}
+
+// runState is one configuration's simulation, advanced in bounded slices
+// so several configurations can share a pass over one trace set. The
+// phase sequence and every coverage/limit check are exactly Run's
+// historical loop: a runState advanced to completion — alone or
+// interleaved with any number of sibling states — produces a Result
+// bit-identical to the former monolithic Run, because each pipeline.Core
+// is fully self-contained and traces are immutable.
+type runState struct {
+	cfg Config
+	w   workload.Workload
+	c   *pipeline.Core
+
+	phase      int // 0 = warm, 1 = measure, 2 = done
+	warm       uint64
+	span       uint64
+	truncated  bool
+	startCycle uint64
+	startStats []pipeline.ThreadStats
+}
+
+const (
+	phaseWarm = iota
+	phaseMeasure
+	phaseDone
+)
+
+// newRunState builds the machine for one normalized configuration over
+// already-materialized traces and pre-warms its caches.
+func newRunState(cfg Config, w workload.Workload, traces []*trace.Trace) (*runState, error) {
 	pol, ra, err := buildPolicy(cfg.Policy)
 	if err != nil {
 		return nil, err
@@ -219,41 +254,11 @@ func Run(cfg Config, w workload.Workload) (*Result, error) {
 	}
 	pcfg := cfg.Pipeline
 	pcfg.Runahead = ra
-
-	traces, err := w.Traces(cfg.TraceLen, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
 	c, err := pipeline.New(pcfg, traces, pol)
 	if err != nil {
 		return nil, err
 	}
 	c.WarmupCaches()
-
-	// runUntil advances the machine until every thread's committed count
-	// reaches its per-thread target, bounded by the cycle limit; it
-	// reports whether the limit hit first.
-	runUntil := func(target func(tid int) uint64, limit uint64) (truncated bool) {
-		covered := func() bool {
-			for tid := 0; tid < c.NumThreads(); tid++ {
-				if c.Committed(tid) < target(tid) {
-					return false
-				}
-			}
-			return true
-		}
-		for !covered() {
-			if c.Cycle() >= limit {
-				return true
-			}
-			// Step in small batches to keep the coverage check off the
-			// per-cycle path.
-			for i := 0; i < 256; i++ {
-				c.Step()
-			}
-		}
-		return false
-	}
 
 	// Phase 1 — timed, unmeasured warm phase: cache contents, branch
 	// predictor weights, and policy state (DCRA classification, hill-
@@ -262,35 +267,98 @@ func Run(cfg Config, w workload.Workload) (*Result, error) {
 	if warm <= 0 {
 		warm = cfg.TraceLen / 2
 	}
-	truncated := runUntil(func(int) uint64 { return uint64(warm) }, cfg.MaxCycles/2)
+	return &runState{
+		cfg:  cfg,
+		w:    w,
+		c:    c,
+		warm: uint64(warm),
+		// Phase 2 — FAME measurement: run until every thread has committed
+		// a further MinIterations full trace executions *beyond its
+		// snapshot* (relative targets, so warm-phase overshoot cannot
+		// shrink any thread's measured iteration count below the FAME
+		// requirement).
+		span: uint64(cfg.TraceLen) * uint64(cfg.MinIterations),
+	}, nil
+}
 
-	// Snapshot the measurement window start.
-	startCycle := c.Cycle()
-	startStats := make([]pipeline.ThreadStats, c.NumThreads())
-	for tid := range startStats {
-		startStats[tid] = *c.Stats(tid)
+// covered reports whether every thread's committed count reached its
+// per-thread target.
+func (r *runState) covered(target func(tid int) uint64) bool {
+	for tid := 0; tid < r.c.NumThreads(); tid++ {
+		if r.c.Committed(tid) < target(tid) {
+			return false
+		}
 	}
+	return true
+}
 
-	// Phase 2 — FAME measurement: run until every thread has committed a
-	// further MinIterations full trace executions *beyond its snapshot*
-	// (relative targets, so warm-phase overshoot cannot shrink any
-	// thread's measured iteration count below the FAME requirement).
-	span := uint64(cfg.TraceLen) * uint64(cfg.MinIterations)
-	truncated = runUntil(func(tid int) uint64 {
-		return startStats[tid].Committed.Value() + span
-	}, cfg.MaxCycles) || truncated
+// snapshot records the measurement window start.
+func (r *runState) snapshot() {
+	r.startCycle = r.c.Cycle()
+	r.startStats = make([]pipeline.ThreadStats, r.c.NumThreads())
+	for tid := range r.startStats {
+		r.startStats[tid] = *r.c.Stats(tid)
+	}
+}
 
-	cycles := c.Cycle() - startCycle
+// advance runs the phase coverage/limit checks and, unless they complete
+// the run, one 256-cycle step block; it reports whether the run is done.
+// Coverage is checked before the limit and phases transition without
+// stepping, exactly as the historical per-phase loop did, so a state's
+// cycle-by-cycle behaviour does not depend on how advance calls are
+// interleaved with other states'.
+func (r *runState) advance() bool {
+	for {
+		switch r.phase {
+		case phaseWarm:
+			if r.covered(func(int) uint64 { return r.warm }) {
+				r.snapshot()
+				r.phase = phaseMeasure
+				continue
+			}
+			if r.c.Cycle() >= r.cfg.MaxCycles/2 {
+				r.truncated = true
+				r.snapshot()
+				r.phase = phaseMeasure
+				continue
+			}
+		case phaseMeasure:
+			if r.covered(func(tid int) uint64 {
+				return r.startStats[tid].Committed.Value() + r.span
+			}) {
+				r.phase = phaseDone
+				return true
+			}
+			if r.c.Cycle() >= r.cfg.MaxCycles {
+				r.truncated = true
+				r.phase = phaseDone
+				return true
+			}
+		default:
+			return true
+		}
+		// Step in small batches to keep the coverage check off the
+		// per-cycle path.
+		for i := 0; i < 256; i++ {
+			r.c.Step()
+		}
+		return false
+	}
+}
+
+// result assembles the measurement of a completed state.
+func (r *runState) result() *Result {
+	cycles := r.c.Cycle() - r.startCycle
 	res := &Result{
-		Workload:  w.Name(),
-		Policy:    cfg.Policy,
+		Workload:  r.w.Name(),
+		Policy:    r.cfg.Policy,
 		Cycles:    cycles,
-		Truncated: truncated,
+		Truncated: r.truncated,
 	}
-	for tid := 0; tid < c.NumThreads(); tid++ {
-		cur, prev := c.Stats(tid), &startStats[tid]
+	for tid := 0; tid < r.c.NumThreads(); tid++ {
+		cur, prev := r.c.Stats(tid), &r.startStats[tid]
 		tr := ThreadResult{
-			Benchmark:        w.Benchmarks[tid],
+			Benchmark:        r.w.Benchmarks[tid],
 			Committed:        cur.Committed.Value() - prev.Committed.Value(),
 			Executed:         cur.Executed.Value() - prev.Executed.Value(),
 			L2MissLoads:      cur.L2MissLoads.Value() - prev.L2MissLoads.Value(),
@@ -309,7 +377,130 @@ func Run(cfg Config, w workload.Workload) (*Result, error) {
 		res.ExecutedTotal += tr.Executed
 		res.CommittedTotal += tr.Committed
 	}
-	return res, nil
+	return res
+}
+
+// Run executes workload w under cfg and returns its measurement.
+func Run(cfg Config, w workload.Workload) (*Result, error) {
+	return RunTraced(cfg, w, nil)
+}
+
+// RunTraced is Run against an explicit trace tier (nil = the process-wide
+// default): the workload's traces are served from the tier, shared with
+// every other run of the same identity, and treated as read-only.
+func RunTraced(cfg Config, w workload.Workload, ts *tracestore.Store) (*Result, error) {
+	cfg = cfg.withRunDefaults()
+	if _, _, err := buildPolicy(cfg.Policy); err != nil {
+		return nil, err
+	}
+	traces, err := w.TracesVia(ts, cfg.TraceLen, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r, err := newRunState(cfg, w, traces)
+	if err != nil {
+		return nil, err
+	}
+	for !r.advance() {
+	}
+	return r.result(), nil
+}
+
+// RunBatch executes workload w under each configuration in one pass over
+// a single shared trace set: the traces are materialized (or served from
+// the tier) once, one independent machine is built per configuration, and
+// the machines advance round-robin until each completes. Because every
+// machine owns all of its mutable state and advances through exactly the
+// checks Run performs, each returned Result is bit-identical to what
+// Run(cfgs[i], w) returns — batching changes the schedule of the host
+// process, never the simulated machines.
+//
+// All configurations must agree on trace identity (TraceLen and Seed
+// after defaulting); RunBatch rejects mixed-identity batches. Any error —
+// a bad policy anywhere in the batch, an invalid workload — fails the
+// whole batch, so callers that need per-cell error attribution fall back
+// to per-cell Run.
+func RunBatch(cfgs []Config, w workload.Workload, ts *tracestore.Store) ([]*Result, error) {
+	return RunBatchObserved(cfgs, w, ts, BatchObserver{})
+}
+
+// BatchObserver lets a RunBatchObserved caller watch a batch between
+// round-robin rounds. Both hooks are optional, run on the calling
+// goroutine, and never observe a machine mid-round.
+type BatchObserver struct {
+	// Finished is called once per configuration, with its final Result,
+	// in the round its machine completes — possibly many rounds before
+	// the batch as a whole returns. Streaming callers publish each cell
+	// here instead of waiting for the full batch.
+	Finished func(i int, r *Result)
+
+	// Drop is polled after each round for every still-running
+	// configuration; returning true removes configuration i from the
+	// batch immediately — its machine stops advancing, Finished is never
+	// called for it, and its slot in the returned slice is nil. Callers
+	// use it to cancel cells whose requesters have gone away without
+	// discarding the rest of the batch.
+	Drop func(i int) bool
+}
+
+// RunBatchObserved is RunBatch with per-round observation hooks; a zero
+// observer makes it RunBatch exactly. Every error return happens before
+// any machine advances, so on error no hook has been called.
+func RunBatchObserved(cfgs []Config, w workload.Workload, ts *tracestore.Store, obs BatchObserver) ([]*Result, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	norm := make([]Config, len(cfgs))
+	for i := range cfgs {
+		norm[i] = cfgs[i].withRunDefaults()
+		if _, _, err := buildPolicy(norm[i].Policy); err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i < len(norm); i++ {
+		if norm[i].TraceLen != norm[0].TraceLen || norm[i].Seed != norm[0].Seed {
+			return nil, fmt.Errorf(
+				"core: RunBatch config %d trace identity (len=%d, seed=%d) differs from config 0 (len=%d, seed=%d)",
+				i, norm[i].TraceLen, norm[i].Seed, norm[0].TraceLen, norm[0].Seed)
+		}
+	}
+	traces, err := w.TracesVia(ts, norm[0].TraceLen, norm[0].Seed)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]*runState, len(norm))
+	for i, cfg := range norm {
+		st, err := newRunState(cfg, w, traces)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = st
+	}
+	out := make([]*Result, len(states))
+	for live := len(states); live > 0; {
+		for i, st := range states {
+			if st == nil || st.phase == phaseDone {
+				continue
+			}
+			if st.advance() {
+				live--
+				out[i] = st.result()
+				if obs.Finished != nil {
+					obs.Finished(i, out[i])
+				}
+			}
+		}
+		if obs.Drop == nil {
+			continue
+		}
+		for i, st := range states {
+			if st != nil && st.phase != phaseDone && obs.Drop(i) {
+				states[i] = nil
+				live--
+			}
+		}
+	}
+	return out, nil
 }
 
 // deltaMean computes the mean of a RunningMean over the measurement window

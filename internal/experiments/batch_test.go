@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/workload"
+)
+
+// TestBatchedMatchesScalar is the harness-level byte-identity guarantee
+// for batching: every shipped example sweep, executed with the default
+// batch width, serializes identically — in all four output formats — to
+// the same sweep with batching disabled (BatchConfigs = 1). The batched
+// session must also prove it actually took the batched path.
+func TestBatchedMatchesScalar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	for _, path := range []string{
+		"../../examples/scenarios/rob-sweep.json",
+		"../../examples/scenarios/l2-latency.json",
+	} {
+		sp, err := scenario.Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		t.Run(sp.Name, func(t *testing.T) {
+			o := tinyOptions()
+			o.Workers = 4
+
+			oScalar := o
+			oScalar.BatchConfigs = 1
+			scalar := mustSession(t, oScalar)
+			want, err := scalar.RunScenario(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b, _ := scalar.BatchStats(); b != 0 {
+				t.Fatalf("BatchConfigs=1 session executed %d batches", b)
+			}
+
+			batched := mustSession(t, o)
+			got, err := batched.RunScenario(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batches, cells := batched.BatchStats()
+			if batches == 0 || cells <= batches {
+				t.Errorf("batched session did not batch: %d batches over %d cells",
+					batches, cells)
+			}
+			if !bytes.Equal(emitAll(t, want), emitAll(t, got)) {
+				t.Errorf("batched sweep output diverges from scalar for %s", sp.Name)
+			}
+		})
+	}
+}
+
+// TestBatchGroupsByTraceIdentity sweeps an axis that changes the trace
+// identity itself (the generation seed). Configs with different
+// identities cannot share a pass over one trace, so the scheduler must
+// split them into per-identity batches — and the results must still be
+// byte-identical to the unbatched run.
+func TestBatchGroupsByTraceIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	rat, icount := "RaT", "ICOUNT"
+	seedA, seedB := uint64(1), uint64(2)
+	sp := &scenario.Spec{
+		Name:      "seed-split",
+		Workloads: scenario.WorkloadSpec{Groups: []string{"MEM2"}, PerGroup: 1},
+		Axes: []scenario.Axis{
+			{Name: "seed", Points: []scenario.Point{
+				{Label: "s1", Delta: scenario.Delta{Seed: &seedA}},
+				{Label: "s2", Delta: scenario.Delta{Seed: &seedB}},
+			}},
+			{Name: "policy", Points: []scenario.Point{
+				{Label: icount, Delta: scenario.Delta{Policy: &icount}},
+				{Label: rat, Delta: scenario.Delta{Policy: &rat}},
+			}},
+		},
+		Metrics: []string{"throughput"},
+	}
+
+	o := tinyOptions()
+	oScalar := o
+	oScalar.BatchConfigs = 1
+	want, err := mustSession(t, oScalar).RunScenario(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batched := mustSession(t, o)
+	got, err := batched.RunScenario(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(emitAll(t, want), emitAll(t, got)) {
+		t.Error("mixed-identity sweep diverges between batched and scalar")
+	}
+	// 4 cells over 2 trace identities: the grid must dispatch as (at
+	// least) one batch per identity, never one 4-cell batch.
+	batches, cells := batched.BatchStats()
+	if batches < 2 {
+		t.Errorf("2 trace identities dispatched as %d batch(es)", batches)
+	}
+	if cells != 4 {
+		t.Errorf("batched cells = %d, want 4", cells)
+	}
+	// Each identity generated its own traces, exactly once apiece.
+	if st := batched.TraceStats(); st.Generated != 4 {
+		t.Errorf("generated %d traces, want 4 (2 seeds x 2 contexts)", st.Generated)
+	}
+}
+
+// TestCanceledBatchNeverSimulates extends the cancellation contract to
+// batch dispatch: a multi-config batch queued under an already-dead
+// context is abandoned cell by cell at pop time — no member simulates,
+// every waiter gets the cancellation error, and the keys stay free for
+// a live recompute.
+func TestCanceledBatchNeverSimulates(t *testing.T) {
+	o := tinyOptions()
+	o.Workers = 1
+	s := mustSession(t, o)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	w := workload.MustByGroup("MEM2")[0]
+	var cfgs []core.Config
+	for i := 0; i < 4; i++ {
+		cfg := s.BaseConfig()
+		cfg.Pipeline.ROBSize = 64 + 16*i
+		cfgs = append(cfgs, cfg)
+	}
+	calls := s.StartRunBatchCtx(ctx, w, cfgs)
+	if len(calls) != len(cfgs) {
+		t.Fatalf("%d calls for %d configs", len(calls), len(cfgs))
+	}
+	for i, c := range calls {
+		if _, err := c.Wait(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cell %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+	st := waitDrained(t, s)
+	if st.Canceled != 4 {
+		t.Errorf("stats = %+v, want exactly 4 canceled", st)
+	}
+	if st.Entries != 0 {
+		t.Errorf("stats = %+v, want abandoned entries unregistered", st)
+	}
+	if b, _ := s.BatchStats(); b != 0 {
+		t.Errorf("canceled batch still executed (%d batches)", b)
+	}
+
+	// The same grid under a live context batches and completes normally.
+	live := s.StartRunBatchCtx(context.Background(), w, cfgs)
+	var results []*core.Result
+	for i, c := range live {
+		r, err := c.Wait()
+		if err != nil {
+			t.Fatalf("recompute cell %d: %v", i, err)
+		}
+		results = append(results, r)
+	}
+	if b, cells := s.BatchStats(); b != 1 || cells != 4 {
+		t.Errorf("live recompute: %d batches / %d cells, want 1 / 4", b, cells)
+	}
+	// Spot-check against the scalar path on a fresh session.
+	oneOff := mustSession(t, o)
+	want, err := oneOff.RunConfig(w, cfgs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results[2], want) {
+		t.Error("batched recompute diverges from a scalar run of the same config")
+	}
+}
+
+// TestBatchDedupesJoinedConfigs: configs already cached or already in
+// flight never re-enter a batch — the batch carries only the cells this
+// dispatch created.
+func TestBatchDedupesJoinedConfigs(t *testing.T) {
+	o := tinyOptions()
+	o.Workers = 1
+	s := mustSession(t, o)
+	w := workload.MustByGroup("MEM2")[0]
+
+	cfgA := s.BaseConfig()
+	cfgB := s.BaseConfig()
+	cfgB.Pipeline.ROBSize = 128
+
+	// Warm cfgA through the scalar path.
+	if _, err := s.RunConfig(w, cfgA); err != nil {
+		t.Fatal(err)
+	}
+	// A batch of {A, B, B}: A joins the cached entry, the duplicate B
+	// joins B's own in-flight call. Only one new cell may dispatch.
+	calls := s.StartRunBatchCtx(context.Background(), w,
+		[]core.Config{cfgA, cfgB, cfgB})
+	for i, c := range calls {
+		if _, err := c.Wait(); err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+	}
+	waitDrained(t, s)
+	if _, cells := s.BatchStats(); cells != 0 {
+		t.Errorf("batched cells = %d, want 0 (singleton runs scalar)", cells)
+	}
+	if calls[1] != calls[2] {
+		t.Error("duplicate configs did not share one call")
+	}
+	if st := s.CacheStats(); st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (A once, B once)", st.Misses)
+	}
+}
+
+// TestBatchedSweepSharesTraces: under batching, a sweep's trace tier
+// serves every cell of a workload group from one generation per context,
+// and the single-thread fairness references hit the traces the SMT runs
+// already generated (context 0 has the same identity in both).
+func TestBatchedSweepSharesTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	s := mustSession(t, tinyOptions())
+	if _, err := s.RunScenario(sweepSpec()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.TraceStats()
+	if st.Generated == 0 {
+		t.Fatal("sweep generated no traces")
+	}
+	if st.Hits == 0 {
+		t.Errorf("trace tier saw no hits across a %d-cell sweep: %+v", 8, st)
+	}
+	// Every distinct identity generated exactly once.
+	if st.Generated != st.Misses {
+		t.Errorf("generated %d != misses %d: some identity generated twice",
+			st.Generated, st.Misses)
+	}
+}

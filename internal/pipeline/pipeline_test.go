@@ -469,8 +469,8 @@ func TestSmallRegisterFileStillWorks(t *testing.T) {
 
 func TestGeneratedTracesIntegration(t *testing.T) {
 	// End-to-end: real generated benchmarks, RaT on, paranoid checks.
-	mcf := trace.Generate(trace.MustLookup("mcf"), trace.Options{Len: 4000, Seed: 1})
-	gzip := trace.Generate(trace.MustLookup("gzip"), trace.Options{Len: 4000, Seed: 2,
+	mcf := trace.MustGenerate(trace.MustLookup("mcf"), trace.Options{Len: 4000, Seed: 1})
+	gzip := trace.MustGenerate(trace.MustLookup("gzip"), trace.Options{Len: 4000, Seed: 2,
 		DataBase: 0x8000_0000, CodeBase: 0x0200_0000})
 	cfg := DefaultConfig()
 	cfg.Runahead = runahead.Default()
@@ -572,8 +572,8 @@ func TestRunaheadCacheAblationRuns(t *testing.T) {
 }
 
 func BenchmarkCoreStepMEM2(b *testing.B) {
-	art := trace.Generate(trace.MustLookup("art"), trace.Options{Len: 20000, Seed: 1})
-	mcf := trace.Generate(trace.MustLookup("mcf"), trace.Options{Len: 20000, Seed: 2,
+	art := trace.MustGenerate(trace.MustLookup("art"), trace.Options{Len: 20000, Seed: 1})
+	mcf := trace.MustGenerate(trace.MustLookup("mcf"), trace.Options{Len: 20000, Seed: 2,
 		DataBase: 0x8000_0000, CodeBase: 0x0200_0000})
 	cfg := DefaultConfig()
 	cfg.Runahead = runahead.Default()

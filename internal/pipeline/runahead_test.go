@@ -72,8 +72,8 @@ func TestPipelineDeterminism(t *testing.T) {
 	mk := func() *Core {
 		cfg := DefaultConfig()
 		cfg.Runahead = runahead.Default()
-		art := trace.Generate(trace.MustLookup("art"), trace.Options{Len: 3000, Seed: 1})
-		gzip := trace.Generate(trace.MustLookup("gzip"), trace.Options{Len: 3000, Seed: 2,
+		art := trace.MustGenerate(trace.MustLookup("art"), trace.Options{Len: 3000, Seed: 1})
+		gzip := trace.MustGenerate(trace.MustLookup("gzip"), trace.Options{Len: 3000, Seed: 2,
 			DataBase: 0x8000_0000, CodeBase: 0x0200_0000})
 		c, err := New(cfg, []*trace.Trace{art, gzip}, nil)
 		if err != nil {

@@ -10,7 +10,7 @@ import (
 func TestAddrAtPureInSeq(t *testing.T) {
 	// Runahead/flush re-execution correctness depends on AddrAt being a
 	// pure function of the absolute sequence number.
-	tr := Generate(MustLookup("art"), Options{Len: 3000, Seed: 1})
+	tr := MustGenerate(MustLookup("art"), Options{Len: 3000, Seed: 1})
 	f := func(raw uint32) bool {
 		seq := uint64(raw) % 30000
 		return tr.AddrAt(seq) == tr.AddrAt(seq)
@@ -30,7 +30,7 @@ func TestAddrAtShiftsColdAcrossIterations(t *testing.T) {
 	// A capacity-bound benchmark must touch fresh cold lines each
 	// iteration: iteration 1's cold addresses differ from iteration 0's.
 	p := MustLookup("art") // 6MB working set
-	tr := Generate(p, Options{Len: 4000, Seed: 2})
+	tr := MustGenerate(p, Options{Len: 4000, Seed: 2})
 	shifted, cold := 0, 0
 	for i := 0; i < tr.Len(); i++ {
 		in := tr.At(uint64(i))
@@ -60,7 +60,7 @@ func TestAddrAtNoShiftForResidentFootprints(t *testing.T) {
 	// Sub-L2 working sets are fully resident in steady state; their
 	// addresses must loop unchanged (shifting would fake compulsory
 	// misses forever).
-	tr := Generate(MustLookup("gzip"), Options{Len: 4000, Seed: 3})
+	tr := MustGenerate(MustLookup("gzip"), Options{Len: 4000, Seed: 3})
 	for i := 0; i < tr.Len(); i++ {
 		if !tr.At(uint64(i)).Op.IsMem() {
 			continue
@@ -74,7 +74,7 @@ func TestAddrAtNoShiftForResidentFootprints(t *testing.T) {
 func TestAddrAtStaysInWorkingSet(t *testing.T) {
 	p := MustLookup("swim")
 	opt := Options{Len: 4000, Seed: 4, DataBase: 0x3000_0000}
-	tr := Generate(p, opt)
+	tr := MustGenerate(p, opt)
 	lo := opt.DataBase
 	hi := opt.DataBase + p.WorkingSet + 4096
 	for iter := uint64(0); iter < 40; iter++ {

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// CodecVersion identifies the binary trace encoding produced by
+// AppendBinary. Any change to the field set or layout of the encoding —
+// including growing isa.Inst — must bump it, so that persisted traces from
+// an older build decode as a version mismatch rather than as garbage.
+const CodecVersion = 1
+
+// AppendBinary appends a deterministic little-endian encoding of the trace
+// to buf and returns the extended slice. The encoding captures every field
+// the simulator can observe (identity, geometry, and the full instruction
+// sequence), so DecodeBinary reconstructs a trace indistinguishable from
+// the original.
+func (t *Trace) AppendBinary(buf []byte) []byte {
+	buf = appendString(buf, t.Name)
+	buf = append(buf, byte(t.Class))
+	buf = binary.LittleEndian.AppendUint64(buf, t.coldBase)
+	buf = binary.LittleEndian.AppendUint64(buf, t.coldSpan)
+	buf = binary.LittleEndian.AppendUint64(buf, t.shiftStep)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(t.insts)))
+	for i := range t.insts {
+		in := &t.insts[i]
+		buf = binary.LittleEndian.AppendUint64(buf, in.Seq)
+		buf = binary.LittleEndian.AppendUint64(buf, in.PC)
+		buf = append(buf, byte(in.Op))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(in.Dst))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(in.Src1))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(in.Src2))
+		buf = binary.LittleEndian.AppendUint64(buf, in.Addr)
+		buf = appendBool(buf, in.Taken)
+		buf = binary.LittleEndian.AppendUint64(buf, in.Target)
+		buf = appendBool(buf, in.AddrDependsOnLoad)
+	}
+	return buf
+}
+
+// EncodedSize returns the exact byte length AppendBinary will produce,
+// letting callers size the destination buffer in one allocation.
+func (t *Trace) EncodedSize() int {
+	const perInst = 8 + 8 + 1 + 2 + 2 + 2 + 8 + 1 + 8 + 1
+	return 4 + len(t.Name) + 1 + 3*8 + 8 + len(t.insts)*perInst
+}
+
+// DecodeBinary reconstructs a trace from an AppendBinary encoding. Any
+// truncation, trailing garbage, or structurally impossible value is
+// reported as an error — callers treat a failed decode as a cache miss,
+// never as a crash.
+func DecodeBinary(data []byte) (*Trace, error) {
+	d := codecReader{data: data}
+	t := &Trace{}
+	t.Name = d.str()
+	t.Class = Class(d.u8())
+	t.coldBase = d.u64()
+	t.coldSpan = d.u64()
+	t.shiftStep = d.u64()
+	n := d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n == 0 || n > math.MaxInt32 {
+		return nil, fmt.Errorf("trace: decode: impossible instruction count %d", n)
+	}
+	const perInst = 41
+	if remaining := len(d.data) - d.off; uint64(remaining) != n*perInst {
+		return nil, fmt.Errorf("trace: decode: %d bytes of instructions for count %d", remaining, n)
+	}
+	t.insts = make([]isa.Inst, n)
+	for i := range t.insts {
+		in := &t.insts[i]
+		in.Seq = d.u64()
+		in.PC = d.u64()
+		in.Op = isa.Op(d.u8())
+		in.Dst = isa.Reg(int16(d.u16()))
+		in.Src1 = isa.Reg(int16(d.u16()))
+		in.Src2 = isa.Reg(int16(d.u16()))
+		in.Addr = d.u64()
+		in.Taken = d.bool()
+		in.Target = d.u64()
+		in.AddrDependsOnLoad = d.bool()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return t, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// codecReader is a bounds-checked cursor over encoded bytes. The first
+// out-of-bounds read latches err and every later read returns zero, so
+// decode loops stay straight-line and check err once.
+type codecReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *codecReader) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("trace: decode: truncated at offset %d", d.off)
+	}
+}
+
+func (d *codecReader) take(n int) []byte {
+	if d.err != nil || d.off+n > len(d.data) {
+		d.fail()
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *codecReader) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *codecReader) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *codecReader) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *codecReader) bool() bool {
+	v := d.u8()
+	if v > 1 && d.err == nil {
+		d.err = fmt.Errorf("trace: decode: bool byte %d at offset %d", v, d.off-1)
+	}
+	return v == 1
+}
+
+func (d *codecReader) str() string {
+	b := d.take(4)
+	if b == nil {
+		return ""
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n > 1<<20 {
+		d.fail()
+		return ""
+	}
+	s := d.take(int(n))
+	return string(s)
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, name := range []string{"art", "gzip", "mcf"} {
+		orig := MustGenerate(MustLookup(name), Options{Len: 2000, Seed: 7, DataBase: 0x5000_0000})
+		data := orig.AppendBinary(nil)
+		if len(data) != orig.EncodedSize() {
+			t.Fatalf("%s: encoded %d bytes, EncodedSize says %d", name, len(data), orig.EncodedSize())
+		}
+		got, err := DecodeBinary(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(orig, got) {
+			t.Fatalf("%s: decoded trace differs from original", name)
+		}
+	}
+}
+
+func TestCodecRoundTripHandBuilt(t *testing.T) {
+	orig := FromInsts("custom", ClassILP, []isa.Inst{
+		{Op: isa.OpLoad, Dst: isa.IntReg(3), Src1: isa.RegNone, Addr: 0x1234, AddrDependsOnLoad: true},
+		{Op: isa.OpBranch, Src1: isa.IntReg(3), Taken: true, Target: 0x40_0000},
+	})
+	got, err := DecodeBinary(orig.AppendBinary(nil))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatal("decoded hand-built trace differs from original")
+	}
+}
+
+func TestCodecRejectsTruncation(t *testing.T) {
+	data := MustGenerate(MustLookup("art"), Options{Len: 100, Seed: 1}).AppendBinary(nil)
+	for _, n := range []int{0, 1, 3, 10, len(data) / 2, len(data) - 1} {
+		if _, err := DecodeBinary(data[:n]); err == nil {
+			t.Fatalf("no error decoding %d of %d bytes", n, len(data))
+		}
+	}
+}
+
+func TestCodecRejectsTrailingGarbage(t *testing.T) {
+	data := MustGenerate(MustLookup("art"), Options{Len: 100, Seed: 1}).AppendBinary(nil)
+	if _, err := DecodeBinary(append(data, 0xff)); err == nil {
+		t.Fatal("no error for trailing garbage")
+	}
+}
+
+func TestCodecRejectsBadBool(t *testing.T) {
+	tr := FromInsts("x", ClassILP, []isa.Inst{{Op: isa.OpIntAlu}})
+	data := tr.AppendBinary(nil)
+	data[len(data)-1] = 7 // AddrDependsOnLoad byte of the last instruction
+	if _, err := DecodeBinary(data); err == nil {
+		t.Fatal("no error for out-of-range bool byte")
+	}
+}
+
+// TestCodecCoversInstSchema pins the isa.Inst field set the codec was
+// written against. If it fails, a field was added, removed or retyped:
+// update AppendBinary/DecodeBinary/EncodedSize to carry the new shape,
+// bump CodecVersion so persisted traces from older builds read as a
+// version-mismatch miss, and then update this table.
+func TestCodecCoversInstSchema(t *testing.T) {
+	want := map[string]string{
+		"Seq":               "uint64",
+		"PC":                "uint64",
+		"Op":                "isa.Op",
+		"Dst":               "isa.Reg",
+		"Src1":              "isa.Reg",
+		"Src2":              "isa.Reg",
+		"Addr":              "uint64",
+		"Taken":             "bool",
+		"Target":            "uint64",
+		"AddrDependsOnLoad": "bool",
+	}
+	typ := reflect.TypeOf(isa.Inst{})
+	if typ.NumField() != len(want) {
+		t.Fatalf("isa.Inst has %d fields, codec encodes %d: bump trace.CodecVersion and extend the codec",
+			typ.NumField(), len(want))
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if got := f.Type.String(); want[f.Name] != got {
+			t.Fatalf("isa.Inst.%s is %s, codec expects %q: bump trace.CodecVersion and extend the codec",
+				f.Name, got, want[f.Name])
+		}
+	}
+}

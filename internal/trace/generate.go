@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"unsafe"
 
 	"repro/internal/isa"
 	"repro/internal/rng"
@@ -41,6 +42,12 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+// Normalized returns the options with all defaults applied, so that two
+// Options values describing the same trace compare equal. Cache keys must
+// be built from normalized options: Generate(p, o) and
+// Generate(p, o.Normalized()) produce identical traces.
+func (o Options) Normalized() Options { return o.withDefaults() }
 
 // Trace is a generated instruction sequence for one thread context.
 // Traces are immutable after generation; the simulator re-executes them in
@@ -215,14 +222,17 @@ func (w *regWindow) at(d int) isa.Reg {
 // len returns the number of recorded destinations.
 func (w *regWindow) len() int { return w.n }
 
-// Generate builds a deterministic synthetic trace for profile p.
-func Generate(p Profile, opt Options) *Trace {
+// Generate builds a deterministic synthetic trace for profile p. A
+// non-positive length (after defaults) or an instruction mix summing past
+// 1 is reported as an error: both can arrive from user-editable scenario
+// files or hand-built profiles, so they must not crash a serving process.
+func Generate(p Profile, opt Options) (*Trace, error) {
 	opt = opt.withDefaults()
 	if opt.Len <= 0 {
-		panic(fmt.Sprintf("trace: invalid length %d", opt.Len))
+		return nil, fmt.Errorf("trace: invalid length %d", opt.Len)
 	}
 	if s := p.Mix.sum(); s > 1 {
-		panic(fmt.Sprintf("trace: %s instruction mix sums to %v > 1", p.Name, s))
+		return nil, fmt.Errorf("trace: %s instruction mix sums to %v > 1", p.Name, s)
 	}
 	root := rng.NewString(p.Name)
 	// Mix the per-copy seed in so two copies of one benchmark diverge.
@@ -272,7 +282,24 @@ func Generate(p Profile, opt Options) *Trace {
 		coldBase:  opt.DataBase + p.HotBytes,
 		coldSpan:  cold,
 		shiftStep: step,
+	}, nil
+}
+
+// MustGenerate is Generate for statically known-good profiles and options
+// (tests, benchmarks, compile-time tables); it panics on error.
+func MustGenerate(p Profile, opt Options) *Trace {
+	t, err := Generate(p, opt)
+	if err != nil {
+		panic(err)
 	}
+	return t
+}
+
+// SizeBytes estimates the trace's resident memory footprint, used by
+// byte-bounded caches to account for stored traces.
+func (t *Trace) SizeBytes() int64 {
+	const instBytes = int64(unsafe.Sizeof(isa.Inst{}))
+	return int64(unsafe.Sizeof(Trace{})) + int64(len(t.Name)) + int64(len(t.insts))*instBytes
 }
 
 // coldBytes returns the size of the non-hot data region.

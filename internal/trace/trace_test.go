@@ -113,8 +113,8 @@ func TestMEMClassHasBigFootprints(t *testing.T) {
 
 func TestGenerateDeterministic(t *testing.T) {
 	p := MustLookup("mcf")
-	a := Generate(p, Options{Len: 5000, Seed: 9})
-	b := Generate(p, Options{Len: 5000, Seed: 9})
+	a := MustGenerate(p, Options{Len: 5000, Seed: 9})
+	b := MustGenerate(p, Options{Len: 5000, Seed: 9})
 	for i := uint64(0); i < 5000; i++ {
 		if *a.At(i) != *b.At(i) {
 			t.Fatalf("traces diverge at %d: %v vs %v", i, a.At(i), b.At(i))
@@ -124,8 +124,8 @@ func TestGenerateDeterministic(t *testing.T) {
 
 func TestGenerateSeedsDiffer(t *testing.T) {
 	p := MustLookup("art")
-	a := Generate(p, Options{Len: 2000, Seed: 1})
-	b := Generate(p, Options{Len: 2000, Seed: 2})
+	a := MustGenerate(p, Options{Len: 2000, Seed: 1})
+	b := MustGenerate(p, Options{Len: 2000, Seed: 2})
 	same := 0
 	for i := uint64(0); i < 2000; i++ {
 		if a.At(i).Addr == b.At(i).Addr && a.At(i).Op == b.At(i).Op {
@@ -139,7 +139,7 @@ func TestGenerateSeedsDiffer(t *testing.T) {
 
 func TestTraceWrapsModulo(t *testing.T) {
 	p := MustLookup("gzip")
-	tr := Generate(p, Options{Len: 100, Seed: 1})
+	tr := MustGenerate(p, Options{Len: 100, Seed: 1})
 	if tr.At(0) != tr.At(100) || tr.At(5) != tr.At(205) {
 		t.Fatal("At does not wrap modulo trace length")
 	}
@@ -149,7 +149,7 @@ func TestMixMatchesProfile(t *testing.T) {
 	// The empirical instruction mix must track the profile probabilities.
 	for _, name := range []string{"mcf", "art", "gzip", "swim"} {
 		p := MustLookup(name)
-		tr := Generate(p, Options{Len: 50000, Seed: 3})
+		tr := MustGenerate(p, Options{Len: 50000, Seed: 3})
 		s := tr.Summarize()
 		wantLoads := p.Mix.Load + p.Mix.FPLoad
 		gotLoads := float64(s.Loads) / float64(s.Total)
@@ -165,8 +165,8 @@ func TestMixMatchesProfile(t *testing.T) {
 }
 
 func TestChasedLoadsOnlyWhereProfiled(t *testing.T) {
-	mcf := Generate(MustLookup("mcf"), Options{Len: 30000, Seed: 1})
-	swim := Generate(MustLookup("swim"), Options{Len: 30000, Seed: 1})
+	mcf := MustGenerate(MustLookup("mcf"), Options{Len: 30000, Seed: 1})
+	swim := MustGenerate(MustLookup("swim"), Options{Len: 30000, Seed: 1})
 	sm, ss := mcf.Summarize(), swim.Summarize()
 	if sm.ChasedLoads == 0 {
 		t.Error("mcf generated no pointer-chased loads")
@@ -182,7 +182,7 @@ func TestChasedLoadsOnlyWhereProfiled(t *testing.T) {
 }
 
 func TestChasedLoadSourcesAreLoadDests(t *testing.T) {
-	tr := Generate(MustLookup("mcf"), Options{Len: 20000, Seed: 5})
+	tr := MustGenerate(MustLookup("mcf"), Options{Len: 20000, Seed: 5})
 	// Walk the trace; for every chased load, its Src1 must match the Dst of
 	// a recent earlier integer load.
 	recent := make(map[isa.Reg]int) // multiset: reg -> count in window
@@ -207,7 +207,7 @@ func TestChasedLoadSourcesAreLoadDests(t *testing.T) {
 
 func TestRegistersWellFormed(t *testing.T) {
 	for _, name := range []string{"mcf", "swim", "eon"} {
-		tr := Generate(MustLookup(name), Options{Len: 20000, Seed: 7})
+		tr := MustGenerate(MustLookup(name), Options{Len: 20000, Seed: 7})
 		for i := 0; i < tr.Len(); i++ {
 			in := tr.At(uint64(i))
 			if in.Dst != isa.RegNone && !in.Dst.Valid() {
@@ -247,7 +247,7 @@ func TestRegistersWellFormed(t *testing.T) {
 func TestAddressesWithinFootprint(t *testing.T) {
 	p := MustLookup("art")
 	opt := Options{Len: 30000, Seed: 1, DataBase: 0x4000_0000}
-	tr := Generate(p, opt)
+	tr := MustGenerate(p, opt)
 	lo, hi := opt.DataBase, opt.DataBase+p.WorkingSet+4096
 	for i := 0; i < tr.Len(); i++ {
 		in := tr.At(uint64(i))
@@ -263,7 +263,7 @@ func TestAddressesWithinFootprint(t *testing.T) {
 func TestPCStaysInCodeRegion(t *testing.T) {
 	p := MustLookup("gcc")
 	opt := Options{Len: 30000, Seed: 2, CodeBase: 0x0100_0000}
-	tr := Generate(p, opt)
+	tr := MustGenerate(p, opt)
 	lo := opt.CodeBase
 	hi := opt.CodeBase + p.CodeBytes + uint64(4*tr.Len())
 	for i := 0; i < tr.Len(); i++ {
@@ -277,7 +277,7 @@ func TestPCStaysInCodeRegion(t *testing.T) {
 func TestBranchTargetsStaticPerPC(t *testing.T) {
 	// Two dynamic instances of the same static branch should mostly share a
 	// target (static CFG), modulo the small indirect fraction.
-	tr := Generate(MustLookup("gzip"), Options{Len: 50000, Seed: 4})
+	tr := MustGenerate(MustLookup("gzip"), Options{Len: 50000, Seed: 4})
 	targets := map[uint64]map[uint64]int{}
 	for i := 0; i < tr.Len(); i++ {
 		in := tr.At(uint64(i))
@@ -313,7 +313,7 @@ func TestBranchTargetsStaticPerPC(t *testing.T) {
 
 func TestMEMTracesTouchMoreUniqueLines(t *testing.T) {
 	uniqueLines := func(name string) int {
-		tr := Generate(MustLookup(name), Options{Len: 40000, Seed: 6})
+		tr := MustGenerate(MustLookup(name), Options{Len: 40000, Seed: 6})
 		lines := map[uint64]bool{}
 		for i := 0; i < tr.Len(); i++ {
 			in := tr.At(uint64(i))
@@ -330,25 +330,36 @@ func TestMEMTracesTouchMoreUniqueLines(t *testing.T) {
 }
 
 func TestGenerateDefaultLen(t *testing.T) {
-	tr := Generate(MustLookup("gzip"), Options{})
+	tr := MustGenerate(MustLookup("gzip"), Options{})
 	if tr.Len() != DefaultLen {
 		t.Fatalf("default length = %d, want %d", tr.Len(), DefaultLen)
 	}
 }
 
-func TestGeneratePanicsOnNegativeLen(t *testing.T) {
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(MustLookup("gzip"), Options{Len: -5}); err == nil {
+		t.Fatal("no error for negative length")
+	}
+	bad := MustLookup("gzip")
+	bad.Mix.Load = 2
+	if _, err := Generate(bad, Options{Len: 100}); err == nil {
+		t.Fatal("no error for instruction mix summing past 1")
+	}
+}
+
+func TestMustGeneratePanicsOnNegativeLen(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic for negative length")
 		}
 	}()
-	Generate(MustLookup("gzip"), Options{Len: -5})
+	MustGenerate(MustLookup("gzip"), Options{Len: -5})
 }
 
 func BenchmarkGenerate(b *testing.B) {
 	p := MustLookup("mcf")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		Generate(p, Options{Len: 10000, Seed: uint64(i)})
+		MustGenerate(p, Options{Len: 10000, Seed: uint64(i)})
 	}
 }

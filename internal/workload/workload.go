@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 )
 
 // Workload is one multiprogrammed combination.
@@ -182,19 +183,47 @@ func Parse(spec string) (Workload, error) {
 // and decorrelated generation streams (two copies of one benchmark do not
 // march in lockstep). Unknown benchmark names surface as an error (the
 // same one Validate reports).
+//
+// Traces are served through the process-wide tracestore.Default tier: two
+// workloads that place the same (benchmark, seed) at the same context
+// index — or a workload and its single-threaded fairness reference —
+// receive the same shared trace object instead of generating twice. The
+// returned traces are read-only, which is the only way the simulator uses
+// them.
 func (w Workload) Traces(length int, seed uint64) ([]*trace.Trace, error) {
+	return w.TracesVia(nil, length, seed)
+}
+
+// ContextOptions returns the trace generation options for context i of a
+// workload run under (length, seed): the per-context seed derivation and
+// the disjoint address-space placement in one place, so every path that
+// materializes or keys a context's trace agrees on its identity.
+func ContextOptions(i int, length int, seed uint64) trace.Options {
+	return trace.Options{
+		Len:      length,
+		Seed:     seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15),
+		DataBase: uint64(dataRegionBase + i*dataRegionStride),
+		CodeBase: uint64(codeRegionBase + i*codeRegionStride),
+	}
+}
+
+// TracesVia is Traces against an explicit trace tier; a nil store means
+// the process-wide default. Sessions with a private store (their own
+// byte bound or a persistent directory) pass it here.
+func (w Workload) TracesVia(ts *tracestore.Store, length int, seed uint64) ([]*trace.Trace, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
+	if ts == nil {
+		ts = tracestore.Default()
+	}
 	out := make([]*trace.Trace, 0, len(w.Benchmarks))
 	for i, name := range w.Benchmarks {
-		p, _ := trace.Lookup(name)
-		out = append(out, trace.Generate(p, trace.Options{
-			Len:      length,
-			Seed:     seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15),
-			DataBase: uint64(dataRegionBase + i*dataRegionStride),
-			CodeBase: uint64(codeRegionBase + i*codeRegionStride),
-		}))
+		t, err := ts.Generate(name, ContextOptions(i, length, seed))
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", w.Name(), err)
+		}
+		out = append(out, t)
 	}
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 )
 
 func TestTable2Counts(t *testing.T) {
@@ -198,6 +199,49 @@ func TestParse(t *testing.T) {
 	for _, bad := range []string{"", "art+nonesuch", "/art", "MEM2/", "art+"} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestTracesDedupeAcrossWorkloads asserts the trace-tier contract: two
+// different workloads that place the same benchmark at the same context
+// index under the same seed receive the *same* trace object, because the
+// generation identity (benchmark, length, derived seed, address bases) is
+// identical and the shared tier dedupes it.
+func TestTracesDedupeAcrossWorkloads(t *testing.T) {
+	ts := tracestore.New(0)
+	a := Workload{Group: "MEM2", Benchmarks: []string{"art", "mcf"}}
+	b := Workload{Group: "MIX2", Benchmarks: []string{"art", "gzip"}}
+	ta, err := a.TracesVia(ts, 600, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := b.TracesVia(ts, 600, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta[0] != tb[0] {
+		t.Fatal("shared (benchmark, context, seed) generated two distinct traces")
+	}
+	if ta[1] == tb[1] {
+		t.Fatal("distinct benchmarks at context 1 shared one trace")
+	}
+	// 3 distinct identities: art@0 (shared), mcf@1, gzip@1.
+	if got := ts.Generated(); got != 3 {
+		t.Fatalf("generated %d traces, want 3", got)
+	}
+}
+
+// TestTracesViaNilUsesDefault pins the routing satellite: the plain
+// Traces path serves from the process-wide default tier, so repeated
+// materializations of one workload return identical trace objects.
+func TestTracesViaNilUsesDefault(t *testing.T) {
+	w := Workload{Group: "MEM2", Benchmarks: []string{"art", "mcf"}}
+	ta := w.MustTraces(700, 7)
+	tb := w.MustTraces(700, 7)
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("context %d regenerated despite the default tier", i)
 		}
 	}
 }
