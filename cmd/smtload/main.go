@@ -19,7 +19,11 @@
 // Exit status 0 means every response matched its in-process reference;
 // any mismatch or transport failure exits 1 after printing a diff
 // summary. On success the daemon's /v1/metrics document prints to stdout
-// (ready for jq in CI).
+// (ready for jq in CI), and per-request wall-clock latency percentiles
+// (min/p50/p99/max) print to stderr so scheduler policies can be
+// compared under the same load. -client names this process in the
+// daemon's X-Client header, keying its fair-scheduler and admission
+// accounting; unset, the daemon falls back to the remote address.
 //
 // -restart-check is the warm-restart proof for a daemon running with
 // -store-dir: run smtload once against a fresh daemon (populating the
@@ -39,6 +43,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -56,6 +61,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-request timeout")
 	restartCheck := flag.Bool("restart-check", false,
 		"assert the daemon served every cell from its persistent store (diskHits > 0, diskMisses == 0)")
+	clientName := flag.String("client", "", "client identity sent as the X-Client header (empty = none)")
 	flag.Parse()
 	if *n <= 0 || *repeat <= 0 {
 		fmt.Fprintln(os.Stderr, "smtload: -n and -repeat must be positive")
@@ -73,6 +79,7 @@ func main() {
 		format string
 		body   []byte
 		err    error
+		dur    time.Duration // request wall clock, success or not
 	}
 	replies := make([]reply, *n)
 	var wg sync.WaitGroup
@@ -84,10 +91,24 @@ func main() {
 			g := newGen(*seed, si, *traceLen)
 			r := &replies[i]
 			r.spec, r.format = si, g.format
-			r.body, r.err = request(client, *addr, g)
+			start := time.Now()
+			r.body, r.err = request(client, *addr, *clientName, g)
+			r.dur = time.Since(start)
 		}(i)
 	}
 	wg.Wait()
+
+	// Latency summary before the verification pass: wall clock per request
+	// as the client saw it, the number a scheduler policy actually moves.
+	durs := make([]time.Duration, *n)
+	for i := range replies {
+		durs[i] = replies[i].dur
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	pct := func(p int) time.Duration { return durs[(len(durs)-1)*p/100] }
+	fmt.Fprintf(os.Stderr, "smtload: latency min=%v p50=%v p99=%v max=%v\n",
+		durs[0].Round(time.Millisecond), pct(50).Round(time.Millisecond),
+		pct(99).Round(time.Millisecond), durs[len(durs)-1].Round(time.Millisecond))
 
 	// Reference run: each distinct spec once, sequentially, in process,
 	// on a fresh one-worker session per spec (no cross-spec cache, no
@@ -223,14 +244,24 @@ func newGen(seed uint64, index, traceLen int) gen {
 	return gen{spec: sp, format: formats[r.Intn(len(formats))]}
 }
 
-// request POSTs the generated spec and returns the response body.
-func request(client *http.Client, addr string, g gen) ([]byte, error) {
+// request POSTs the generated spec and returns the response body. A
+// non-empty clientName rides the X-Client header so the daemon
+// attributes the request to this load generator by name.
+func request(client *http.Client, addr, clientName string, g gen) ([]byte, error) {
 	var body bytes.Buffer
 	if err := json.NewEncoder(&body).Encode(g.spec); err != nil {
 		return nil, err
 	}
 	url := strings.TrimRight(addr, "/") + "/v1/scenario?format=" + g.format
-	resp, err := client.Post(url, "application/json", &body)
+	req, err := http.NewRequest(http.MethodPost, url, &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if clientName != "" {
+		req.Header.Set("X-Client", clientName)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err
 	}

@@ -51,6 +51,19 @@
 // controls how many configurations advance over one shared trace in a
 // single batched pass (results are bit-identical either way).
 //
+// Scheduling across clients is fair by default: each request is
+// attributed to a client identity (the X-Client header when present,
+// otherwise the remote address) and the session's work queue interleaves
+// queued jobs ICOUNT-style — the client with the fewest grid cells in
+// service pops next — so a one-cell probe submitted behind a 4096-cell
+// sweep is served long before the sweep drains. -scheduler fifo restores
+// the old strict arrival order; scheduling only reorders execution, never
+// results. -max-inflight-per-client N (0 = unbounded) additionally caps
+// concurrent scenario requests per client identity, answering breaches
+// with 429 and a Retry-After hint. /v1/metrics reports the queue depth
+// ("queued"), admission rejections ("rejected") and the scheduler's
+// per-client accounting ("scheduler").
+//
 // Cancellation is first-class: every sweep executes under its request's
 // context, so a client that disconnects mid-sweep stops consuming the
 // shared worker pool — grid cells not yet started are never simulated
@@ -69,15 +82,18 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/scenario"
+	"repro/internal/sched"
 	"repro/internal/simcache"
 	"repro/internal/tracestore"
 )
@@ -96,6 +112,8 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "persistent on-disk trace store directory (empty = disabled)")
 	traceBytes := flag.Int64("trace-bytes", 0, "on-disk trace store byte bound (0 = unbounded)")
 	batch := flag.Int("batch", 0, "configs executed per shared-trace batch (0 = default, 1 = unbatched)")
+	scheduler := flag.String("scheduler", sched.Default, "work-queue scheduling policy (fifo|fair)")
+	maxInflight := flag.Int("max-inflight-per-client", 0, "concurrent scenario requests per client identity (0 = unbounded)")
 	flag.Parse()
 
 	opt := experiments.Default()
@@ -110,6 +128,7 @@ func main() {
 	opt.TraceDir = *traceDir
 	opt.TraceBytes = *traceBytes
 	opt.BatchConfigs = *batch
+	opt.Scheduler = *scheduler
 
 	srv, err := newServer(opt, *maxBody)
 	if err != nil {
@@ -117,10 +136,12 @@ func main() {
 		os.Exit(1)
 	}
 	srv.maxCells = *maxCells
+	srv.maxInflight = *maxInflight
 	if *storeDir != "" {
 		log.Printf("smtsimd persistent result store at %s (bound %d bytes)", *storeDir, *storeBytes)
 	}
-	log.Printf("smtsimd listening on %s (cache bounds: %d entries, %d bytes)", *addr, *entries, *bytes)
+	log.Printf("smtsimd listening on %s (cache bounds: %d entries, %d bytes; scheduler %s)",
+		*addr, *entries, *bytes, *scheduler)
 	// No WriteTimeout: NDJSON responses legitimately stream for as long
 	// as a sweep simulates. Header and idle timeouts still bound what a
 	// stalled or idle client can pin.
@@ -162,9 +183,17 @@ type server struct {
 	maxBody  int64
 	maxCells int64
 
+	// maxInflight bounds concurrent scenario requests per client
+	// identity (0 = unbounded); breaches answer 429. inflightByClient
+	// holds only clients with at least one open request.
+	maxInflight      int
+	admitMu          sync.Mutex
+	inflightByClient map[string]int
+
 	requests atomic.Uint64 // scenario requests accepted
 	failures atomic.Uint64 // scenario requests that failed simulating
 	canceled atomic.Uint64 // scenario requests cut short by the client
+	rejected atomic.Uint64 // scenario requests refused by admission (429)
 	rows     atomic.Uint64 // reduced rows served
 }
 
@@ -177,7 +206,57 @@ func newServer(opt experiments.Options, maxBody int64) (*server, error) {
 	if maxBody <= 0 {
 		maxBody = 1 << 20
 	}
-	return &server{session: s, maxBody: maxBody, maxCells: 4096}, nil
+	return &server{
+		session:          s,
+		maxBody:          maxBody,
+		maxCells:         4096,
+		inflightByClient: map[string]int{},
+	}, nil
+}
+
+// clientID attributes a request to a client identity: the X-Client
+// header when the client names itself (smtload -client, the CI smoke
+// jobs), otherwise the remote host. Both the admission bound and the
+// fair scheduler key on this identity.
+func (s *server) clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// admit reserves an in-flight slot for the client, reporting false when
+// the per-client bound is already met. Every true return must be paired
+// with exactly one release.
+func (s *server) admit(client string) bool {
+	if s.maxInflight <= 0 {
+		return true
+	}
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.inflightByClient[client] >= s.maxInflight {
+		return false
+	}
+	s.inflightByClient[client]++
+	return true
+}
+
+// release returns a client's admission slot, forgetting idle clients so
+// the map tracks only clients with open requests.
+func (s *server) release(client string) {
+	if s.maxInflight <= 0 {
+		return
+	}
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if n := s.inflightByClient[client] - 1; n > 0 {
+		s.inflightByClient[client] = n
+	} else {
+		delete(s.inflightByClient, client)
+	}
 }
 
 // handler routes the three endpoints.
@@ -206,6 +285,20 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST a scenario spec"))
 		return
 	}
+	// Admission runs before any parsing work: a client over its in-flight
+	// bound is told to back off (429 + Retry-After) without costing the
+	// daemon a body read. The slot is held for the request's full
+	// lifetime, streaming included.
+	client := s.clientID(r)
+	if !s.admit(client) {
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Errorf("client %q has %d scenario requests in flight (limit %d)",
+				client, s.maxInflight, s.maxInflight))
+		return
+	}
+	defer s.release(client)
 	sp, err := scenario.Parse(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
 		// An oversized body is its own condition (413), not a malformed
@@ -265,8 +358,10 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	// The request's context threads through every execution layer: when
 	// the client disconnects (or the connection dies), cells of this
 	// sweep not yet started are never simulated, the wait aborts, and
-	// the request counts as canceled, not failed.
-	ctx := r.Context()
+	// the request counts as canceled, not failed. The client identity
+	// rides the same context so the session's scheduler attributes every
+	// job this sweep queues — batches and references included.
+	ctx := sched.WithRequester(r.Context(), client)
 	if format == "ndjson" {
 		s.streamScenario(ctx, w, sp)
 		return
@@ -388,12 +483,21 @@ func (s *server) streamScenario(ctx context.Context, w http.ResponseWriter, sp *
 // tier enabled by -trace-dir), and batches/batchedCells count how much
 // simulation work rode the batched executor — K configurations advanced
 // over one shared trace in a single pass.
+// Queued counts grid cells accepted into the work queue but not yet
+// picked up by a worker — the complement of cache.inFlight, which only
+// counts started cells, so a daemon sitting on a deep backlog no longer
+// reports an idle picture. Rejected counts requests refused by the
+// per-client admission bound (429s), and the scheduler object is the
+// work queue's own view: policy name, queued jobs/cells, and per-client
+// queued/in-service accounting (active clients only).
 type metricsDoc struct {
 	Cache           simcache.Stats   `json:"cache"`
 	Requests        uint64           `json:"requests"`
 	Failures        uint64           `json:"failures"`
 	Canceled        uint64           `json:"canceled"`
+	Rejected        uint64           `json:"rejected"`
 	Rows            uint64           `json:"rows"`
+	Queued          int              `json:"queued"`
 	DiskHits        uint64           `json:"diskHits"`
 	DiskMisses      uint64           `json:"diskMisses"`
 	DiskBytes       int64            `json:"diskBytes"`
@@ -402,6 +506,7 @@ type metricsDoc struct {
 	Trace           tracestore.Stats `json:"trace"`
 	Batches         uint64           `json:"batches"`
 	BatchedCells    uint64           `json:"batchedCells"`
+	Scheduler       sched.Snapshot   `json:"scheduler"`
 }
 
 // handleMetrics reports cache effectiveness and serving counters.
@@ -411,12 +516,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	enc.SetIndent("", "  ")
 	disk := s.session.StoreStats()
 	batches, cells := s.session.BatchStats()
+	schedSnap := s.session.SchedStats()
 	enc.Encode(metricsDoc{
 		Cache:           s.session.CacheStats(),
 		Requests:        s.requests.Load(),
 		Failures:        s.failures.Load(),
 		Canceled:        s.canceled.Load(),
+		Rejected:        s.rejected.Load(),
 		Rows:            s.rows.Load(),
+		Queued:          schedSnap.QueuedCells,
 		DiskHits:        disk.Hits,
 		DiskMisses:      disk.Misses,
 		DiskBytes:       disk.Bytes,
@@ -425,5 +533,6 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Trace:           s.session.TraceStats(),
 		Batches:         batches,
 		BatchedCells:    cells,
+		Scheduler:       schedSnap,
 	})
 }

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -642,5 +643,181 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if doc.Cache.Misses == 0 || doc.Cache.Hits == 0 {
 		t.Errorf("cache stats %+v: want both misses and hits", doc.Cache)
+	}
+	if doc.Scheduler.Policy != "fair" {
+		t.Errorf("scheduler policy = %q, want fair (the default)", doc.Scheduler.Policy)
+	}
+	if doc.Queued != 0 || doc.Scheduler.QueuedCells != 0 || len(doc.Scheduler.Clients) != 0 {
+		t.Errorf("scheduler not idle at rest: queued=%d %+v", doc.Queued, doc.Scheduler)
+	}
+	if doc.Rejected != 0 {
+		t.Errorf("rejected = %d, want 0 (admission unbounded by default)", doc.Rejected)
+	}
+}
+
+// postClient is post with an X-Client identity header.
+func postClient(t *testing.T, url, spec, client string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if client != "" {
+		req.Header.Set("X-Client", client)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestAdmissionPerClient pins the per-client admission bound end to end:
+// with -max-inflight-per-client 1, a client holding a streaming sweep
+// open is refused a second concurrent request (429, counted under
+// rejected), a differently-named client is admitted and served, the
+// backlog shows up in the queued gauge and the scheduler's per-client
+// accounting, and the slot frees as soon as the held stream closes.
+func TestAdmissionPerClient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	opt := testOptions()
+	opt.Workers = 1
+	opt.BatchConfigs = 1 // scalar dispatch: cells queue individually
+	s, ts := newTestServer(t, opt)
+	s.maxInflight = 1
+
+	// One workload × 8 ROB points behind a single worker. Long traces
+	// keep each cell simulating for hundreds of milliseconds, so once the
+	// first row arrives the request is reliably still in flight — slot
+	// taken, later cells queued — for the assertions below.
+	var axes strings.Builder
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			axes.WriteString(",")
+		}
+		fmt.Fprintf(&axes, `{"label":"%d","delta":{"robSize":%d}}`, 64+16*i, 64+16*i)
+	}
+	heldSpec := `{
+	  "name": "admission-held",
+	  "workloads": {"adhoc": ["art+mcf"]},
+	  "base": {"traceLen": 16000, "maxCycles": 20000000, "seed": 17},
+	  "axes": [{"name": "rob", "points": [` + axes.String() + `]}],
+	  "metrics": ["throughput"]
+	}`
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/scenario", strings.NewReader(heldSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+		t.Fatalf("first NDJSON row: %v", err)
+	}
+
+	// The backlog is visible: queued cells, attributed to this client.
+	doc := getMetrics(t, ts.URL)
+	if doc.Queued == 0 {
+		t.Errorf("queued = 0 with a 7-cell backlog behind one worker: %+v", doc.Scheduler)
+	}
+	if len(doc.Scheduler.Clients) == 0 {
+		t.Errorf("scheduler clients empty mid-sweep: %+v", doc.Scheduler)
+	}
+
+	// Same identity (remote host), second concurrent request: refused.
+	status, body := post(t, ts.URL+"/v1/scenario", testSpec)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("concurrent same-client status = %d (body %s), want 429", status, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "in flight") {
+		t.Errorf("429 body %q is not a JSON error naming the bound", body)
+	}
+	if got := getMetrics(t, ts.URL).Rejected; got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+
+	// A different identity is admitted and served while the first
+	// client's sweep still streams — fair scheduling in one request.
+	tiny := `{
+	  "name": "admission-other",
+	  "workloads": {"adhoc": ["art+mcf"]},
+	  "base": {"traceLen": 200, "maxCycles": 400, "seed": 19},
+	  "metrics": ["throughput"]
+	}`
+	if status, body := postClient(t, ts.URL+"/v1/scenario", tiny, "other"); status != http.StatusOK {
+		t.Errorf("other-client status = %d (body %s), want 200", status, body)
+	}
+
+	// Releasing the held stream frees the slot.
+	resp.Body.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if status, _ := post(t, ts.URL+"/v1/scenario", tiny); status == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admission slot never released after the held stream closed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestAdmissionConcurrentClients hammers admission from many goroutines
+// across a handful of client identities (run under -race in CI): every
+// response is either served or a clean 429, accounting never wedges, and
+// once the burst drains every client is admitted again.
+func TestAdmissionConcurrentClients(t *testing.T) {
+	tiny := `{
+	  "name": "admission-burst",
+	  "workloads": {"adhoc": ["art+mcf"]},
+	  "base": {"traceLen": 200, "maxCycles": 400, "seed": 23},
+	  "metrics": ["throughput"]
+	}`
+	s, ts := newTestServer(t, testOptions())
+	s.maxInflight = 2
+
+	clients := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	var served, rejected atomic.Uint64
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, body := postClient(t, ts.URL+"/v1/scenario", tiny, clients[i%len(clients)])
+			switch status {
+			case http.StatusOK:
+				served.Add(1)
+			case http.StatusTooManyRequests:
+				rejected.Add(1)
+			default:
+				t.Errorf("burst status = %d (body %s), want 200 or 429", status, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if served.Load() == 0 {
+		t.Error("burst: no request was served")
+	}
+	if got := getMetrics(t, ts.URL).Rejected; got != rejected.Load() {
+		t.Errorf("rejected metric = %d, clients saw %d", got, rejected.Load())
+	}
+	// The burst drained, so every identity has its slots back.
+	for _, c := range clients {
+		if status, body := postClient(t, ts.URL+"/v1/scenario", tiny, c); status != http.StatusOK {
+			t.Errorf("post-burst client %q status = %d (body %s), want 200", c, status, body)
+		}
 	}
 }

@@ -113,11 +113,41 @@
 // every shipped example sweep), with batches/batchedCells and the trace
 // tier's counters visible in /v1/metrics.
 //
+// # Scheduling and fairness
+//
+// The session's work queue is itself policy-pluggable (internal/sched;
+// experiments.Options.Scheduler, smtsimd -scheduler fifo|fair). The
+// original dispatch was a single FIFO, so one max-size sweep ahead of a
+// one-cell request starved it for the whole sweep — head-of-line
+// blocking in a daemon that simulates SMT fetch policies invented to
+// prevent exactly that. The default fair policy applies the paper's
+// ICOUNT idea to the serving layer: each queued job carries a requester
+// identity and a cell count, and workers pop the next job from the
+// requester with the fewest cells currently in service, ties rotating
+// round-robin toward the least recently served. Identity reaches the
+// queue as a context value (sched.WithRequester / sched.Requester):
+// smtsimd stamps each request with its X-Client header or remote host,
+// and the identity threads unchanged through scenario execution into
+// every job the sweep queues — batches and fairness references included.
+// Scheduling only reorders execution, never results (simulations are
+// deterministic and reductions collect in fixed order), so the
+// bit-identity guarantees above are policy-independent; the starvation
+// regression test in internal/experiments locks both the fix and the
+// FIFO baseline behavior. The daemon adds per-client admission control
+// on top (-max-inflight-per-client, 429 + Retry-After on breach) and
+// reports the queue in /v1/metrics: "queued" (cells accepted but not yet
+// started — the complement of the cache's inFlight), "rejected", and a
+// "scheduler" object with the policy name and per-client queued and
+// in-service cells. cmd/smtload prints per-request latency percentiles
+// (min/p50/p99/max) and takes -client to name itself, so policies can be
+// compared under identical load.
+//
 // # Cancellation and shutdown
 //
 // Execution is cancellation-correct at every layer. The session's worker
-// pool is a FIFO queue drained by at most Workers goroutines (spawned on
-// demand, exiting when idle), and each layer has a context-taking form —
+// pool is a scheduler-ordered queue drained by at most Workers goroutines
+// (spawned on demand, exiting when idle), and each layer has a
+// context-taking form —
 // experiments.Session.StartRunCtx / RunConfigCtx / ReferenceCtx /
 // RunScenarioCtx, scenario.ExecuteCtx / ExecuteStreamCtx,
 // simcache.Cache.BeginCtx / Call.WaitCtx — threading the requester's

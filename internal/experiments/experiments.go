@@ -28,6 +28,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/resultstore"
 	"repro/internal/scenario"
+	"repro/internal/sched"
 	"repro/internal/simcache"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -84,6 +85,18 @@ type Options struct {
 	TraceDir        string
 	TraceBytes      int64
 	TraceCacheBytes int64
+	// Scheduler selects the work-queue dispatch policy by name
+	// (internal/sched): "fifo" is strict arrival order, "fair" (the
+	// default, also chosen by "") interleaves queued jobs across active
+	// requesters ICOUNT-style — the requester with the fewest grid cells
+	// in service pops next, ties rotating round-robin — so a one-cell
+	// request queued behind a max-size sweep is served at the next free
+	// worker instead of after the whole sweep. Requesters are identified
+	// by the context stamp sched.WithRequester (smtsimd stamps each HTTP
+	// request; unstamped contexts share one anonymous bucket, where both
+	// policies behave identically). Scheduling only reorders execution,
+	// never results: outputs stay bit-identical under any policy.
+	Scheduler string
 	// BatchConfigs caps how many same-workload, same-trace-identity cells
 	// one worker executes in a single pass over the shared traces (the
 	// batched-config path; 0 selects the default, 1 disables batching).
@@ -144,15 +157,18 @@ type runKey struct {
 // run's outcome is a pure function of its configuration, so retrying a
 // failed key could never succeed.
 //
-// The pool is a FIFO work queue drained by at most Options.Workers
+// The pool is a work queue drained by at most Options.Workers
 // goroutines, spawned on demand and exiting when the queue empties — a
 // request for N cells costs N queue entries, not N parked goroutines,
-// and an idle session holds no goroutines at all. Cancellation happens
-// at the queue boundary: a cell whose interested requesters (the
-// contexts passed to StartRunCtx) have all gone away by the time a
-// worker pops it is abandoned, never simulated. A cell already running
-// always finishes and populates the cache — results are deterministic
-// and shared, so completing them is never wasted work.
+// and an idle session holds no goroutines at all. The order workers pop
+// jobs in is a pluggable policy (internal/sched, Options.Scheduler):
+// FIFO, or the default ICOUNT-style fair interleaving across active
+// requesters. Cancellation happens at the queue boundary: a cell whose
+// interested requesters (the contexts passed to StartRunCtx) have all
+// gone away by the time a worker pops it is abandoned, never simulated.
+// A cell already running always finishes and populates the cache —
+// results are deterministic and shared, so completing them is never
+// wasted work.
 //
 // Session implements scenario.Runner, so scenario.Execute dispatches
 // onto the same pool and cache the figures use.
@@ -170,8 +186,8 @@ type Session struct {
 	batchedCells atomic.Uint64
 
 	mu         sync.Mutex
-	queue      []job // FIFO of jobs not yet picked up by a worker
-	workers    int   // live worker goroutines
+	scheduler  sched.Scheduler[job] // jobs not yet picked up by a worker
+	workers    int                  // live worker goroutines
 	maxWorkers int
 }
 
@@ -245,6 +261,10 @@ func NewSession(opt Options) (*Session, error) {
 	if batch <= 0 {
 		batch = DefaultBatchConfigs
 	}
+	scheduler, err := sched.New[job](opt.Scheduler)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
 	return &Session{
 		opt:        opt,
 		base:       base,
@@ -253,6 +273,7 @@ func NewSession(opt Options) (*Session, error) {
 		store:      store,
 		traces:     traces,
 		batch:      batch,
+		scheduler:  scheduler,
 	}, nil
 }
 
@@ -296,16 +317,29 @@ func (s *Session) BatchStats() (batches, cells uint64) {
 	return s.batches.Load(), s.batchedCells.Load()
 }
 
+// SchedStats snapshots the work-queue scheduler: policy name, queued
+// jobs/cells, and per-requester accounting (the smtsimd /v1/metrics
+// "scheduler" payload). Queued cells are work accepted but not yet
+// picked up by a worker — the complement of simcache.Stats.InFlight,
+// which only counts started cells.
+func (s *Session) SchedStats() sched.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scheduler.Snapshot()
+}
+
 // BaseConfig returns the configuration scenario deltas apply onto: the
 // Table 1 machine scaled by this session's Options.
 func (s *Session) BaseConfig() core.Config { return s.base }
 
-// dispatch queues one job and ensures a worker will drain it. Workers
-// spawn lazily up to the pool bound and exit when the queue empties, so
-// the pool leaks nothing between sweeps.
-func (s *Session) dispatch(j job) {
+// dispatch queues one job under a requester identity and ensures a
+// worker will drain it. Workers spawn lazily up to the pool bound and
+// exit when the queue empties, so the pool leaks nothing between sweeps.
+// The scheduling policy decides pop order only; every queued job is
+// eventually popped, and results are identical under any policy.
+func (s *Session) dispatch(requester string, j job) {
 	s.mu.Lock()
-	s.queue = append(s.queue, j)
+	s.scheduler.Push(sched.Job[job]{Requester: requester, Cells: len(j.cells), Payload: j})
 	if s.workers < s.maxWorkers {
 		s.workers++
 		go s.work()
@@ -313,23 +347,23 @@ func (s *Session) dispatch(j job) {
 	s.mu.Unlock()
 }
 
-// work drains the queue. Each popped job's cells are first filtered for
-// abandonment — a cell whose requesters have all canceled is never
-// simulated and its key becomes free to recompute — and the survivors run
-// to completion and populate the cache.
+// work drains the queue in scheduler order. Each popped job's cells are
+// first filtered for abandonment — a cell whose requesters have all
+// canceled is never simulated and its key becomes free to recompute —
+// and the survivors run to completion and populate the cache. The job's
+// cells count against its requester's in-service account from pop to
+// Done, which is what the fair policy's ICOUNT-style priority reads.
 func (s *Session) work() {
 	for {
 		s.mu.Lock()
-		if len(s.queue) == 0 {
+		sj, ok := s.scheduler.Pop()
+		if !ok {
 			s.workers--
-			s.queue = nil // release the drained backing array
 			s.mu.Unlock()
 			return
 		}
-		j := s.queue[0]
-		s.queue[0] = job{} // drop the array's reference to the popped job
-		s.queue = s.queue[1:]
 		s.mu.Unlock()
+		j := sj.Payload
 		live := j.cells[:0]
 		for _, c := range j.cells {
 			if !s.cache.Abandon(c.key, c.call, context.Canceled) {
@@ -339,6 +373,9 @@ func (s *Session) work() {
 		if len(live) > 0 {
 			s.runCells(j.w, live)
 		}
+		s.mu.Lock()
+		s.scheduler.Done(sj)
+		s.mu.Unlock()
 	}
 }
 
@@ -439,7 +476,7 @@ func (s *Session) StartRunCtx(ctx context.Context, w workload.Workload, cfg core
 	if !created {
 		return c
 	}
-	s.dispatch(job{w: w, cells: []cell{{key: key, call: c, cfg: cfg}}})
+	s.dispatch(sched.Requester(ctx), job{w: w, cells: []cell{{key: key, call: c, cfg: cfg}}})
 	return c
 }
 
@@ -485,6 +522,7 @@ func (s *Session) StartRunBatchCtx(ctx context.Context, w workload.Workload, cfg
 		}
 		groups[id] = append(groups[id], cell{key: key, call: c, cfg: cfg})
 	}
+	requester := sched.Requester(ctx)
 	for _, id := range order {
 		cells := groups[id]
 		for len(cells) > 0 {
@@ -492,7 +530,7 @@ func (s *Session) StartRunBatchCtx(ctx context.Context, w workload.Workload, cfg
 			if n > s.batch {
 				n = s.batch
 			}
-			s.dispatch(job{w: w, cells: cells[:n:n]})
+			s.dispatch(requester, job{w: w, cells: cells[:n:n]})
 			cells = cells[n:]
 		}
 	}

@@ -22,7 +22,11 @@ import (
 // Every dispatching method takes the requesting sweep's context: a cell
 // whose interested requesters have all canceled before it starts must
 // never be simulated, while a cell that is already running finishes and
-// populates the shared cache.
+// populates the shared cache. The context also carries the requester
+// identity for fair scheduling (sched.WithRequester): the engine threads
+// it unchanged into every dispatch — grid cells, batches, and fairness
+// references alike — so the runner's scheduler can attribute all of a
+// sweep's work to the client that asked for it.
 type Runner interface {
 	// BaseConfig returns the configuration scenario deltas apply onto.
 	BaseConfig() core.Config

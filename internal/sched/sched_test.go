@@ -1,0 +1,217 @@
+package sched
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// drain pops every queued job with an immediate Done — a one-worker
+// system with instant service — and returns the payloads in pop order.
+func drain(t *testing.T, s Scheduler[string]) []string {
+	t.Helper()
+	var order []string
+	for {
+		j, ok := s.Pop()
+		if !ok {
+			return order
+		}
+		order = append(order, j.Payload)
+		s.Done(j)
+	}
+}
+
+func mustNew(t *testing.T, policy string) Scheduler[string] {
+	t.Helper()
+	s, err := New[string](policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidates(t *testing.T) {
+	if s := mustNew(t, ""); s.Name() != PolicyFair {
+		t.Errorf("default policy = %s, want fair", s.Name())
+	}
+	if s := mustNew(t, PolicyFIFO); s.Name() != PolicyFIFO {
+		t.Errorf("fifo policy Name() = %s", s.Name())
+	}
+	_, err := New[string]("bogus")
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list valid policy %s", err, name)
+		}
+	}
+}
+
+func TestRequesterContext(t *testing.T) {
+	ctx := context.Background()
+	if got := Requester(ctx); got != "" {
+		t.Errorf("unstamped context requester = %q, want empty", got)
+	}
+	if got := Requester(WithRequester(ctx, "alice")); got != "alice" {
+		t.Errorf("requester = %q, want alice", got)
+	}
+	// Empty id is a no-op, not a stamp of "".
+	if WithRequester(ctx, "") != ctx {
+		t.Error("WithRequester(ctx, \"\") allocated a new context")
+	}
+}
+
+func push(s Scheduler[string], requester, payload string, cells int) {
+	s.Push(Job[string]{Requester: requester, Cells: cells, Payload: payload})
+}
+
+func TestFIFOPopsInArrivalOrder(t *testing.T) {
+	s := mustNew(t, PolicyFIFO)
+	push(s, "big", "b1", 8)
+	push(s, "big", "b2", 8)
+	push(s, "small", "s1", 1)
+	got := drain(t, s)
+	want := []string{"b1", "b2", "s1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fifo order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFairInterleavesRequesters is the head-of-line starvation fix in
+// miniature: with one worker and instant service, queued requesters
+// alternate round-robin instead of draining in arrival order.
+func TestFairInterleavesRequesters(t *testing.T) {
+	s := mustNew(t, PolicyFair)
+	for _, p := range []string{"a1", "a2", "a3"} {
+		push(s, "a", p, 8)
+	}
+	push(s, "b", "b1", 8)
+	push(s, "b", "b2", 8)
+	push(s, "c", "c1", 8)
+	got := drain(t, s)
+	want := []string{"a1", "b1", "c1", "a2", "b2", "a3"}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fair order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFairPrefersFewestCellsInService is the ICOUNT analogy proper:
+// with jobs still in service (no Done), the requester with the fewest
+// in-service cells pops first, whatever the arrival order.
+func TestFairPrefersFewestCellsInService(t *testing.T) {
+	s := mustNew(t, PolicyFair)
+	push(s, "heavy", "h1", 8)
+	push(s, "heavy", "h2", 8)
+	push(s, "light", "l1", 1)
+	push(s, "light", "l2", 1)
+
+	var got []string
+	for i := 0; i < 4; i++ {
+		j, ok := s.Pop()
+		if !ok {
+			t.Fatal("queue empty early")
+		}
+		got = append(got, j.Payload)
+	}
+	// h1 first (arrival order, all tied at zero in service), then light
+	// twice (0 then 1 in-service cells, both below heavy's 8), then h2.
+	want := []string{"h1", "l1", "l2", "h2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fair in-service order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFairLateArrivalNotStarved: a one-cell job queued behind a long
+// backlog is served at the very next pop once the current job completes.
+func TestFairLateArrivalNotStarved(t *testing.T) {
+	s := mustNew(t, PolicyFair)
+	for i := 0; i < 100; i++ {
+		push(s, "big", "big-job", 8)
+	}
+	first, _ := s.Pop() // the worker is busy on big's first job...
+	push(s, "small", "small-job", 1)
+	s.Done(first)
+	j, ok := s.Pop() // ...and small preempts the remaining 99.
+	if !ok || j.Payload != "small-job" {
+		t.Fatalf("next pop = %+v, want small-job", j)
+	}
+}
+
+func TestSnapshotAccounting(t *testing.T) {
+	for _, policy := range Names() {
+		t.Run(policy, func(t *testing.T) {
+			s := mustNew(t, policy)
+			if snap := s.Snapshot(); snap.QueuedJobs != 0 || len(snap.Clients) != 0 {
+				t.Fatalf("idle snapshot not empty: %+v", snap)
+			}
+			push(s, "a", "a1", 8)
+			push(s, "a", "a2", 4)
+			push(s, "b", "b1", 1)
+
+			snap := s.Snapshot()
+			if snap.Policy != policy {
+				t.Errorf("policy = %q, want %q", snap.Policy, policy)
+			}
+			if snap.QueuedJobs != 3 || snap.QueuedCells != 13 || snap.InServiceCells != 0 {
+				t.Errorf("queued snapshot = %+v, want 3 jobs / 13 cells / 0 in service", snap)
+			}
+			if a := snap.Clients["a"]; a.QueuedJobs != 2 || a.QueuedCells != 12 {
+				t.Errorf("client a = %+v, want 2 jobs / 12 cells queued", a)
+			}
+
+			j, _ := s.Pop()
+			snap = s.Snapshot()
+			if snap.QueuedJobs != 2 || snap.QueuedCells != 13-j.Cells || snap.InServiceCells != j.Cells {
+				t.Errorf("post-pop snapshot = %+v (popped %d cells)", snap, j.Cells)
+			}
+			if got := snap.Clients[j.Requester].InServiceCells; got != j.Cells {
+				t.Errorf("client %q in service = %d, want %d", j.Requester, got, j.Cells)
+			}
+
+			s.Done(j)
+			for {
+				j, ok := s.Pop()
+				if !ok {
+					break
+				}
+				s.Done(j)
+			}
+			if snap := s.Snapshot(); snap.QueuedJobs != 0 || snap.QueuedCells != 0 ||
+				snap.InServiceCells != 0 || len(snap.Clients) != 0 {
+				t.Errorf("drained snapshot not empty: %+v (idle requesters must be forgotten)", snap)
+			}
+		})
+	}
+}
+
+// TestEveryPushIsPopped is the no-lost-work contract over a mixed
+// population, both policies.
+func TestEveryPushIsPopped(t *testing.T) {
+	for _, policy := range Names() {
+		s := mustNew(t, policy)
+		want := map[string]int{}
+		for i, req := range []string{"a", "b", "", "c", "a", "b", "a", ""} {
+			push(s, req, req, 1+i%3)
+			want[req]++
+		}
+		got := map[string]int{}
+		for _, p := range drain(t, s) {
+			got[p]++
+		}
+		for req, n := range want {
+			if got[req] != n {
+				t.Errorf("%s: requester %q popped %d jobs, want %d", policy, req, got[req], n)
+			}
+		}
+	}
+}
