@@ -1,0 +1,92 @@
+// Command smtlint runs the repo's invariant-checker suite — the custom
+// analyzers of internal/analysis that mechanically enforce the
+// determinism, cancellation and output-stability contracts — over a set
+// of package patterns, alongside the standard go vet passes.
+//
+//	go run ./cmd/smtlint ./...          # the CI lint gate
+//	go run ./cmd/smtlint -vet=false ./internal/sched
+//	go run ./cmd/smtlint -list
+//
+// Findings print in the usual file:line:col form and make the process
+// exit 1; a clean tree exits 0. A finding is silenced — never casually:
+// a justification is mandatory — with a directive comment on or above
+// the flagged line:
+//
+//	//lint:<analyzer> <why this site cannot violate the invariant>
+//
+// Exit status: 0 clean, 1 findings (smtlint or vet), 2 usage or load
+// failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lint"
+)
+
+func main() {
+	vet := flag.Bool("vet", true, "also run the standard go vet passes over the same patterns")
+	list := flag.Bool("list", false, "list the suite's analyzers and exit")
+	showSuppressed := flag.Bool("suppressed", false, "also print findings silenced by justified //lint: directives")
+	flag.Parse()
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			if _, ok := err.(*exec.ExitError); !ok {
+				fmt.Fprintf(os.Stderr, "smtlint: go vet: %v\n", err)
+				os.Exit(2)
+			}
+			failed = true
+		}
+	}
+
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Println(d)
+	}
+	if *showSuppressed {
+		for _, d := range res.Suppressed {
+			fmt.Printf("%s (suppressed)\n", d)
+		}
+	}
+	if n := len(res.Diagnostics); n > 0 {
+		fmt.Fprintf(os.Stderr, "smtlint: %d finding(s) across %d package(s) (%d suppressed by justified directives)\n",
+			n, len(pkgs), len(res.Suppressed))
+		failed = true
+	} else {
+		fmt.Fprintf(os.Stderr, "smtlint: clean — %d package(s), %d analyzer(s), %d finding(s) suppressed by justified directives\n",
+			len(pkgs), len(analyzers), len(res.Suppressed))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -18,7 +18,9 @@
 //
 // Exit status 0 means every response matched its in-process reference;
 // any mismatch or transport failure exits 1 after printing a diff
-// summary. On success the daemon's /v1/metrics document prints to stdout
+// summary. Ctrl-C (or SIGTERM) cancels the run's context — in-flight
+// HTTP requests abort and the in-process reference sweeps stop at the
+// next queued cell — and the process exits 130. On success the daemon's /v1/metrics document prints to stdout
 // (ready for jq in CI), and per-request wall-clock latency percentiles
 // (min/p50/p99/max) print to stderr so scheduler policies can be
 // compared under the same load. -client names this process in the
@@ -36,16 +38,20 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -67,6 +73,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smtload: -n and -repeat must be positive")
 		os.Exit(2)
 	}
+
+	// Ctrl-C cancels everything smtload has in flight — the HTTP requests
+	// (so the daemon sees the disconnect and abandons un-started cells)
+	// and the in-process reference runs — and exits 130, matching the
+	// other CLIs.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	client := &http.Client{Timeout: *timeout}
 	specs := (*n + *repeat - 1) / *repeat
@@ -92,7 +105,7 @@ func main() {
 			r := &replies[i]
 			r.spec, r.format = si, g.format
 			start := time.Now()
-			r.body, r.err = request(client, *addr, *clientName, g)
+			r.body, r.err = request(ctx, client, *addr, *clientName, g)
 			r.dur = time.Since(start)
 		}(i)
 	}
@@ -116,8 +129,12 @@ func main() {
 	failures := 0
 	for si := 0; si < specs; si++ {
 		g := newGen(*seed, si, *traceLen)
-		want, err := reference(g)
+		want, err := reference(ctx, g)
 		if err != nil {
+			if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "smtload: interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "smtload: spec %d reference run: %v\n", si, err)
 			os.Exit(1)
 		}
@@ -246,14 +263,16 @@ func newGen(seed uint64, index, traceLen int) gen {
 
 // request POSTs the generated spec and returns the response body. A
 // non-empty clientName rides the X-Client header so the daemon
-// attributes the request to this load generator by name.
-func request(client *http.Client, addr, clientName string, g gen) ([]byte, error) {
+// attributes the request to this load generator by name. The context
+// cancels the request mid-stream — exactly the disconnect the daemon's
+// cancellation path exists to absorb.
+func request(ctx context.Context, client *http.Client, addr, clientName string, g gen) ([]byte, error) {
 	var body bytes.Buffer
 	if err := json.NewEncoder(&body).Encode(g.spec); err != nil {
 		return nil, err
 	}
 	url := strings.TrimRight(addr, "/") + "/v1/scenario?format=" + g.format
-	req, err := http.NewRequest(http.MethodPost, url, &body)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, &body)
 	if err != nil {
 		return nil, err
 	}
@@ -277,15 +296,16 @@ func request(client *http.Client, addr, clientName string, g gen) ([]byte, error
 }
 
 // reference renders the generated spec's expected bytes: a sequential
-// (Workers=1) in-process execution on a fresh session.
-func reference(g gen) ([]byte, error) {
+// (Workers=1) in-process execution on a fresh session, bounded by ctx —
+// an interrupted smtload must not keep simulating reference grids.
+func reference(ctx context.Context, g gen) ([]byte, error) {
 	opt := experiments.Default()
 	opt.Workers = 1
 	s, err := experiments.NewSession(opt)
 	if err != nil {
 		return nil, err
 	}
-	rs, err := s.RunScenario(g.spec)
+	rs, err := s.RunScenarioCtx(ctx, g.spec)
 	if err != nil {
 		return nil, err
 	}

@@ -163,9 +163,31 @@
 // (client behavior, distinct from "failures", which is simulator
 // trouble), and live requests are unaffected. SIGINT/SIGTERM shut the
 // daemon down gracefully — the listener closes, in-flight responses
-// drain up to -drain, then the process exits 0 — while cmd/experiments
-// and cmd/smtsim treat Ctrl-C as cancellation of the same session
-// context (queued simulations never start; exit status 130).
+// drain up to -drain, then the process exits 0 — while cmd/experiments,
+// cmd/smtsim and cmd/smtload treat Ctrl-C as cancellation of the same
+// session context (queued simulations never start; exit status 130).
+//
+// # Static analysis and invariants
+//
+// The contracts above — byte-identical output, replayable simulations,
+// context threading, panic-free libraries — used to live only in tests
+// that catch violations after the fact. internal/analysis turns them
+// into lint-time invariants: a suite of five analyzers in the style of
+// golang.org/x/tools/go/analysis (built on an in-house stdlib-only
+// driver, internal/analysis/lint, so the tree stays dependency-free),
+// run by cmd/smtlint alongside go vet. detrange flags range-over-map in
+// the result-producing and serializing packages; nowallclock forbids
+// wall-clock reads and global math/rand in simulation packages; ctxflow
+// flags calls that drop a context when a ...Ctx sibling exists, and
+// orphan context.Background() outside main; floatfmt flags %v/%g and
+// fmt.Sprint on float operands in output paths, where exact
+// strconv.FormatFloat rendering is the rule; panicfree forbids panic
+// and Must* calls in library packages outside the documented wrapper
+// shapes. A site that is correct for a reason the analyzer cannot see
+// carries a justified //lint:<analyzer> directive — the justification
+// is mandatory, suppressions are themselves test-locked, and
+// TestLintClean keeps `go run ./cmd/smtlint ./...` at zero findings on
+// every commit. See internal/analysis/README.md.
 //
 // Start with README.md for a tour, DESIGN.md for the architecture and the
 // substitutions made for unavailable artifacts, and EXPERIMENTS.md for the

@@ -1,0 +1,12 @@
+// Command mainpkg shows the package-main exemption: the root context
+// is born here (from signal handling in the real binaries), so
+// context.Background() is sanctioned.
+package main
+
+import "context"
+
+func main() {
+	run(context.Background())
+}
+
+func run(ctx context.Context) { _ = ctx }

@@ -1,0 +1,21 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/detrange"
+	"repro/internal/analysis/lintest"
+)
+
+// TestTargetPackage runs detrange over a package inside its target set:
+// raw ranges are flagged, the sorted/append-key/delete idioms pass, a
+// justified directive suppresses, and a bare directive does not.
+func TestTargetPackage(t *testing.T) {
+	lintest.Run(t, detrange.Analyzer, "testdata/target", "repro/internal/report")
+}
+
+// TestOffTargetPackageIsExempt type-checks the same violation under an
+// import path outside the target set and expects silence.
+func TestOffTargetPackageIsExempt(t *testing.T) {
+	lintest.Run(t, detrange.Analyzer, "testdata/offtarget", "repro/internal/analysis/offtarget")
+}

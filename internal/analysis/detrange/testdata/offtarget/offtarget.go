@@ -1,0 +1,13 @@
+// Package offtarget holds the same raw map range as the target case
+// but is type-checked OUTSIDE detrange's target set: the analyzer must
+// stay silent, which is what scopes it to the determinism-critical
+// packages instead of the whole tree.
+package offtarget
+
+func rawRange(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

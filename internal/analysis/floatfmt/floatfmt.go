@@ -1,0 +1,203 @@
+// Package floatfmt guards the exact-float-round-trip contract of the
+// output layer: golden byte-identity requires every float that reaches
+// serialized output to go through strconv.FormatFloat (or the report
+// helpers built on it — report.F, the Dataset cell renderers), never
+// through fmt's reflective default formatting. %v and %g pick a
+// representation for you; the repo's convention is that float rendering
+// in output paths is always explicit, so a formatting change can never
+// hide inside a verb default. The fmt.Sprint family applies its %v
+// default to every operand and is flagged the same way.
+//
+// The analyzer flags statically float-typed operands (float32/float64,
+// or named types with a float underlying) bound to %v/%g/%G verbs — or
+// passed to the Sprint family — in the output and canonical-encoding
+// packages.
+package floatfmt
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/lint"
+)
+
+// TargetPackages are the output, emitter, and canonical-encoding paths.
+var TargetPackages = []string{
+	"repro/internal/report",
+	"repro/internal/scenario",
+	"repro/internal/experiments",
+	"repro/internal/core",
+	"repro/cmd/smtsimd",
+	"repro/cmd/experiments",
+	"repro/cmd/smtload",
+	"repro/cmd/smtsim",
+}
+
+// formatFns maps fmt's formatting functions to the index of their
+// format-string argument.
+var formatFns = map[string]int{
+	"Sprintf": 0, "Printf": 0, "Errorf": 0,
+	"Fprintf": 1, "Appendf": 1,
+}
+
+// printFns maps fmt's default-formatting functions to the index of
+// their first operand.
+var printFns = map[string]int{
+	"Sprint": 0, "Sprintln": 0, "Print": 0, "Println": 0,
+	"Fprint": 1, "Fprintln": 1, "Append": 1, "Appendln": 1,
+}
+
+// Analyzer is the floatfmt check.
+var Analyzer = &lint.Analyzer{
+	Name: "floatfmt",
+	Doc: "flag %v/%g/fmt.Sprint on float operands in output paths " +
+		"(golden byte-identity requires strconv.FormatFloat or the report helpers)",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.PathIn(pass.Pkg.Path(), TargetPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lint.FuncObj(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+				return true
+			}
+			if idx, ok := formatFns[fn.Name()]; ok {
+				checkFormat(pass, call, fn.Name(), idx)
+			} else if idx, ok := printFns[fn.Name()]; ok {
+				for _, arg := range call.Args[min(idx, len(call.Args)):] {
+					if isFloat(pass.TypesInfo.TypeOf(arg)) {
+						pass.Reportf(arg.Pos(),
+							"fmt.%s formats float %s with the %%v default; use strconv.FormatFloat or the report helpers",
+							fn.Name(), pass.ExprString(arg))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFormat maps verbs to operands for one Printf-style call and
+// flags float operands bound to %v, %g or %G.
+func checkFormat(pass *lint.Pass, call *ast.CallExpr, name string, fmtIdx int) {
+	if len(call.Args) <= fmtIdx {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[fmtIdx]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format string: nothing to map
+	}
+	format := constant.StringVal(tv.Value)
+	operands := call.Args[fmtIdx+1:]
+	if call.Ellipsis.IsValid() {
+		return // args... slice expansion: operands are not individually typed here
+	}
+	for _, bound := range verbOperands(format, len(operands)) {
+		if bound.verb != 'v' && bound.verb != 'g' && bound.verb != 'G' {
+			continue
+		}
+		arg := operands[bound.operand]
+		if isFloat(pass.TypesInfo.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(),
+				"fmt.%s formats float %s with %%%s; use strconv.FormatFloat or the report helpers",
+				name, pass.ExprString(arg), string(bound.verb))
+		}
+	}
+}
+
+// verbBinding pairs one conversion verb with the operand index it
+// consumes.
+type verbBinding struct {
+	verb    rune
+	operand int
+}
+
+// verbOperands scans a Printf format string and returns the verb bound
+// to each operand, implementing enough of fmt's syntax to be exact on
+// this repo's format strings: flags, numeric width/precision, *
+// arguments, %% literals, and [n] explicit indexes.
+func verbOperands(format string, nargs int) []verbBinding {
+	var out []verbBinding
+	arg := 0
+	take := func(verb rune) {
+		if arg < nargs {
+			out = append(out, verbBinding{verb, arg})
+		}
+		arg++
+	}
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// flags
+		for i < len(format) && strings.IndexByte("+-# 0", format[i]) >= 0 {
+			i++
+		}
+		// width
+		if i < len(format) && format[i] == '*' {
+			take('*')
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				take('*')
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		// explicit argument index
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+				n = n*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i < len(format) {
+			take(rune(format[i]))
+			i++
+		}
+	}
+	return out
+}
+
+// isFloat reports whether t's core type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

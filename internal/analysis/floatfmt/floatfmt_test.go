@@ -1,0 +1,23 @@
+package floatfmt_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/floatfmt"
+	"repro/internal/analysis/lintest"
+)
+
+// TestOutputPackage runs floatfmt over a package inside its target
+// set: %v/%g on floats (including named float types, star widths and
+// explicit indexes) and the Sprint default are flagged; %f, explicit
+// strconv, non-float operands, non-constant formats, and a justified
+// directive pass.
+func TestOutputPackage(t *testing.T) {
+	lintest.Run(t, floatfmt.Analyzer, "testdata/out", "repro/internal/report")
+}
+
+// TestOffTargetPackageIsExempt type-checks the same calls outside the
+// output-path set and expects silence.
+func TestOffTargetPackageIsExempt(t *testing.T) {
+	lintest.Run(t, floatfmt.Analyzer, "testdata/offtarget", "repro/internal/mem")
+}

@@ -1,0 +1,10 @@
+// Package offtarget holds the same %v-on-float calls as the target
+// case but is type-checked outside floatfmt's output-path set: the
+// analyzer must stay silent.
+package offtarget
+
+import "fmt"
+
+func render(f float64) string {
+	return fmt.Sprintf("%v", f)
+}

@@ -1,0 +1,45 @@
+// Package out exercises floatfmt inside its target set: the test
+// harness type-checks it as repro/internal/report.
+package out
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ipc is a named float type; the check looks through to the
+// underlying kind.
+type ipc float64
+
+// render mixes flagged and sanctioned formatting in one output path.
+func render(f float64, i int, s string) []string {
+	return []string{
+		fmt.Sprintf("%v", f), // want "formats float f with %v"
+		fmt.Sprintf("%g", f), // want "formats float f with %g"
+		fmt.Sprintf("%.3f", f),
+		fmt.Sprintf("%v %d", s, i),
+		fmt.Sprint(f), // want "formats float f with the %v default"
+		strconv.FormatFloat(f, 'g', -1, 64),
+		fmt.Sprintf("%*v", i, f),   // want "formats float f with %v"
+		fmt.Sprintf("%[2]v", s, f), // want "formats float f with %v"
+		fmt.Sprintf("%d %[1]d", i), // index rebinding on ints: fine
+	}
+}
+
+// renderNamed checks that named float types are still floats.
+func renderNamed(x ipc) string {
+	return fmt.Sprintf("%v", x) // want "formats float x with %v"
+}
+
+// dyn has a non-constant format string: verbs cannot be mapped
+// statically, so the call passes.
+func dyn(format string, f float64) string {
+	return fmt.Sprintf(format, f)
+}
+
+// justified carries a directive: a debug dump that never reaches
+// golden output.
+func justified(f float64) string {
+	//lint:floatfmt debug-only dump, never reaches golden output
+	return fmt.Sprintf("%v", f) // want-suppressed "formats float f with %v"
+}

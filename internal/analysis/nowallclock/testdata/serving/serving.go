@@ -1,0 +1,15 @@
+// Package serving holds the same wall-clock reads as the sim case but
+// is type-checked as a serving-layer package, which legitimately reads
+// clocks (LRU recency, latency measurement) and is outside the target
+// set: the analyzer must stay silent.
+package serving
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

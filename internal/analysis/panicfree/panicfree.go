@@ -1,0 +1,85 @@
+// Package panicfree continues the panic→error campaign of PRs 2–3: a
+// library package reachable from the daemon must not take the process
+// down, so panic and the panicking Must* wrappers are forbidden outside
+// a small set of sanctioned shapes:
+//
+//   - panic inside a function itself named Must* — that IS the
+//     documented wrapper pattern (MustLookup, MustByGroup, ...), whose
+//     callers are the ones this analyzer polices;
+//   - Must* calls from package-level variable initializers, which run
+//     before main and fail a build-time-static table loudly at startup
+//     rather than mid-request;
+//   - Must* calls from inside another Must* function (the wrappers
+//     compose);
+//   - sites carrying a justified //lint:panicfree directive — the
+//     documented static-call-site allowlist (hot-loop invariant guards
+//     whose failure means simulator-internal corruption, and Must*
+//     calls over compile-time-static tables covered by tests).
+//
+// Command packages (cmd/*, examples/*) are user-facing mains with their
+// own error conventions and are not targets.
+package panicfree
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/lint"
+)
+
+// TargetPrefix scopes the analyzer to library packages.
+const TargetPrefix = "repro/internal/"
+
+// Analyzer is the panicfree check.
+var Analyzer = &lint.Analyzer{
+	Name: "panicfree",
+	Doc: "forbid panic and Must* calls in library packages outside the documented " +
+		"allowlist (Must* wrappers, package-level initializers, justified //lint:panicfree sites)",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), TargetPrefix) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, _ := decl.(*ast.FuncDecl)
+			inMust := fd != nil && strings.HasPrefix(fd.Name.Name, "Must")
+			atPackageLevel := fd == nil
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
+						if !inMust {
+							pass.Reportf(call.Pos(),
+								"panic in library package %s: return an error, or justify an unreachable-invariant guard with //lint:panicfree",
+								pass.Pkg.Path())
+						}
+						return true
+					}
+				}
+				fn := lint.FuncObj(pass.TypesInfo, call)
+				if fn == nil || fn.Pkg() == nil || !strings.HasPrefix(fn.Name(), "Must") {
+					return true
+				}
+				path := fn.Pkg().Path()
+				if path != "repro" && !strings.HasPrefix(path, "repro/") {
+					return true
+				}
+				if inMust || atPackageLevel {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"call to %s in library package %s: use the error-returning variant, or justify a static call site with //lint:panicfree",
+					fn.Name(), pass.Pkg.Path())
+				return true
+			})
+		}
+	}
+	return nil
+}

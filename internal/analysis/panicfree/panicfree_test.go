@@ -1,0 +1,22 @@
+package panicfree_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/lintest"
+	"repro/internal/analysis/panicfree"
+)
+
+// TestLibraryPackage runs panicfree over a library package: reachable
+// panics and request-path Must* calls are flagged; Must* wrappers,
+// package-level initializers, wrapper composition, and a justified
+// directive pass, while a bare directive does not suppress.
+func TestLibraryPackage(t *testing.T) {
+	lintest.Run(t, panicfree.Analyzer, "testdata/lib", "repro/internal/libtest")
+}
+
+// TestCommandPackageIsExempt type-checks a panicking main outside
+// repro/internal and expects silence.
+func TestCommandPackageIsExempt(t *testing.T) {
+	lintest.Run(t, panicfree.Analyzer, "testdata/cmd", "repro/cmd/tool")
+}

@@ -1,0 +1,8 @@
+// Command cmd shows the target scoping: command packages are
+// user-facing mains with their own error conventions, so panic is not
+// flagged outside repro/internal.
+package main
+
+func main() {
+	panic("mains may panic")
+}

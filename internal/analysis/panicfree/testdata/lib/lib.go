@@ -1,0 +1,66 @@
+// Package libtest exercises panicfree in a library package: reachable
+// panics and request-path Must* calls are flagged; the Must* wrapper
+// pattern, package-level initializers, wrapper composition, and
+// justified directives pass.
+package libtest
+
+import "errors"
+
+var errMissing = errors.New("missing")
+
+// Lookup is the error-returning API.
+func Lookup(ok bool) (int, error) {
+	if !ok {
+		return 0, errMissing
+	}
+	return 1, nil
+}
+
+// MustLookup is the sanctioned wrapper shape: the panic lives inside a
+// Must* function, and it is the CALLERS this analyzer polices.
+func MustLookup(ok bool) int {
+	v, err := Lookup(ok)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// MustTwice composes wrappers: Must* calling Must* is allowed.
+func MustTwice(ok bool) int {
+	return MustLookup(ok) + MustLookup(ok)
+}
+
+// table is a package-level initializer: a static-table failure here is
+// loud and immediate at startup, which is the point of the exemption.
+var table = MustLookup(true)
+
+// libPanic is the violation: a reachable panic in library code.
+func libPanic(ok bool) int {
+	if !ok {
+		panic("libtest: not ok") // want "panic in library package"
+	}
+	return 1
+}
+
+// mustCall is the other violation: a Must* call on a request path.
+func mustCall() int {
+	return MustLookup(true) // want "call to MustLookup in library package"
+}
+
+// justified is the allowlisted shape: an invariant guard with a
+// recorded reason.
+func justified(n int) int {
+	if n < 0 {
+		//lint:panicfree unreachable-invariant guard: n is a compiled-in table size
+		panic("libtest: negative") // want-suppressed "panic in library package"
+	}
+	return n
+}
+
+// bare shows that a directive without a justification suppresses
+// nothing: the finding must survive.
+func bare() {
+	//lint:panicfree
+	panic("no reason given") // want "panic in library package"
+}

@@ -555,10 +555,11 @@ func (s *STCache) compute(benchmark string, c *simcache.Call[float64]) {
 // memoizing it on first use. Concurrent callers for the same benchmark
 // block until the one computation finishes.
 func (s *STCache) IPC(benchmark string) (float64, error) {
-	c, created := s.g.Begin(benchmark)
+	c, created := s.g.Begin(benchmark) //lint:ctxflow STCache is a ctx-free memo by design: a reference run must complete into the memo even if one requester dies, so the computation is never tied to a caller's context
 	if created {
 		s.compute(benchmark, c)
 	}
+	//lint:ctxflow reference runs are bounded CPU-pure work; waiting uncancellably matches the memo contract above
 	return c.Wait()
 }
 
@@ -567,7 +568,7 @@ func (s *STCache) IPC(benchmark string) (float64, error) {
 // when the reference is already computed or in flight. Worker pools use it
 // to avoid parking a pool slot on a run some other worker owns.
 func (s *STCache) Begin(benchmark string) func() {
-	c, created := s.g.Begin(benchmark)
+	c, created := s.g.Begin(benchmark) //lint:ctxflow registration into the shared memo is deliberately context-free; cancellation belongs to the worker pool that runs the returned thunk
 	if !created {
 		return nil
 	}

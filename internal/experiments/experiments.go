@@ -623,13 +623,6 @@ func (s *Session) configFor(pol core.PolicyKind, regs int) core.Config {
 	return cfg
 }
 
-// run executes (and caches) one workload under one policy, optionally
-// with an overridden physical register file size, blocking for the
-// result.
-func (s *Session) run(w workload.Workload, pol core.PolicyKind, regs int) (*core.Result, error) {
-	return s.RunConfig(w, s.configFor(pol, regs))
-}
-
 // RunScenario executes a declarative sweep on this session's worker pool
 // and cache. Points that coincide with figure runs (or with each other)
 // are simulated once.

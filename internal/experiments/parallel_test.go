@@ -60,11 +60,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 	// Compare one raw Result end to end (every counter, not just the
 	// figure-level aggregates).
 	w := workload.MustByGroup("MEM2")[0]
-	sr, err := seq.run(w, core.PolicyRaT, 0)
+	sr, err := seq.RunConfig(w, seq.configFor(core.PolicyRaT, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pr, err := par.run(w, core.PolicyRaT, 0)
+	pr, err := par.RunConfig(w, par.configFor(core.PolicyRaT, 0))
 	if err != nil {
 		t.Fatal(err)
 	}

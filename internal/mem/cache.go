@@ -87,6 +87,7 @@ type Cache struct {
 // geometries are static data, so misconfiguration is a programming error).
 func NewCache(cfg CacheConfig) *Cache {
 	if err := cfg.Validate(); err != nil {
+		//lint:panicfree documented constructor contract: cache geometries are compiled-in static data, so an invalid one is a programming error, not an input error
 		panic(err)
 	}
 	lines := cfg.SizeBytes / cfg.LineBytes

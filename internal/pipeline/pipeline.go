@@ -205,6 +205,7 @@ func (c *Core) Step() {
 	c.sample(now)
 	if c.paranoid {
 		if err := c.CheckInvariants(); err != nil {
+			//lint:panicfree paranoid-mode invariant check: per-cycle state corruption cannot be reported as a value up the hot Step path; halting beats a silently wrong simulation
 			panic(fmt.Sprintf("cycle %d: %v", now, err))
 		}
 	}

@@ -70,6 +70,7 @@ type File struct {
 // statistics.
 func New(name string, size int) *File {
 	if size <= 0 {
+		//lint:panicfree constructor precondition on compiled-in machine configurations (Table 1 sizes); violation is a programming error
 		panic("regfile: non-positive size")
 	}
 	f := &File{
@@ -125,6 +126,7 @@ func (f *File) IncRef(p PhysReg) {
 func (f *File) DecRef(p PhysReg) {
 	s := f.state(p)
 	if s.refs == 0 {
+		//lint:panicfree refcount underflow means rename bookkeeping corruption; continuing would free live registers and silently corrupt results
 		panic(fmt.Sprintf("regfile %s: DecRef(%d) below zero", f.name, p))
 	}
 	s.refs--
@@ -171,6 +173,7 @@ func (f *File) Pin(p PhysReg) { f.state(p).pinned = true }
 func (f *File) Unpin(p PhysReg) {
 	s := f.state(p)
 	if !s.pinned {
+		//lint:panicfree checkpoint pin/unpin imbalance means runahead checkpoint corruption; halting beats silently wrong state restoration
 		panic(fmt.Sprintf("regfile %s: Unpin(%d) of unpinned register", f.name, p))
 	}
 	s.pinned = false
@@ -183,6 +186,7 @@ func (f *File) Unpin(p PhysReg) {
 func (f *File) Release(p PhysReg) {
 	s := f.state(p)
 	if s.dead {
+		//lint:panicfree double release means retirement bookkeeping corruption; continuing would double-free a register another thread may hold
 		panic(fmt.Sprintf("regfile %s: double Release(%d)", f.name, p))
 	}
 	s.dead = true
@@ -204,10 +208,12 @@ func (f *File) maybeFree(p PhysReg) {
 
 func (f *File) state(p PhysReg) *regState {
 	if p < 0 || int(p) >= len(f.regs) {
+		//lint:panicfree an out-of-range tag can only come from pipeline state corruption; equivalent to the bounds check the next line would trip anyway
 		panic(fmt.Sprintf("regfile %s: register %d out of range", f.name, p))
 	}
 	s := &f.regs[p]
 	if !s.allocated {
+		//lint:panicfree touching an unallocated register means a stale tag survived a squash; continuing would read garbage state
 		panic(fmt.Sprintf("regfile %s: register %d not allocated", f.name, p))
 	}
 	return s

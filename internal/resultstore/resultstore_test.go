@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/core"
@@ -423,5 +424,70 @@ func TestSharedDirAdoption(t *testing.T) {
 	}
 	if st := b.Stats(); st.Files != 1 || st.Bytes == 0 {
 		t.Errorf("adopted entry not accounted: %+v", st)
+	}
+}
+
+// survivorFiles lists the store directory's entry files, sorted.
+func survivorFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == suffix {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestEvictionVictimDeterministic locks the claim behind the
+// //lint:deterministic directive on evict(): the victim is the entry
+// with the unique minimum access seq, so two stores driven through an
+// identical Put/Get history shed exactly the same entries, whatever
+// order their accounting maps happen to iterate in.
+func TestEvictionVictimDeterministic(t *testing.T) {
+	res := randResult(rand.New(rand.NewSource(11)))
+	cfgN := func(i int) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.Seed = uint64(200 + i)
+		return cfg
+	}
+	history := func(t *testing.T) []string {
+		dir := t.TempDir()
+		probe, err := Open(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := probe.Put("w", cfgN(0), res); err != nil {
+			t.Fatal(err)
+		}
+		entrySize := probe.Stats().Bytes
+		os.Remove(filepath.Join(dir, fileName("w", cfgN(0).Canonical())))
+
+		s, err := Open(dir, 4*entrySize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12; i++ {
+			if err := s.Put("w", cfgN(i), res); err != nil {
+				t.Fatal(err)
+			}
+			// Interleaved rereads decouple recency from insertion order.
+			if i%3 == 0 {
+				s.Get("w", cfgN(i/2))
+			}
+		}
+		if st := s.Stats(); st.Evictions == 0 {
+			t.Fatalf("history produced no evictions: %+v", st)
+		}
+		return survivorFiles(t, dir)
+	}
+	a, b := history(t), history(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical histories left different survivors:\n a: %v\n b: %v", a, b)
 	}
 }

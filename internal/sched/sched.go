@@ -193,6 +193,7 @@ func (f *fifo[T]) Snapshot() Snapshot {
 		c.QueuedCells += j.Cells
 		clients[j.Requester] = c
 	}
+	//lint:deterministic merges per-client counters into a map; the result is key-addressed and serialized via encoding/json, which sorts keys, so iteration order is unobservable
 	for id, n := range f.inService {
 		c := clients[id]
 		c.InServiceCells = n
@@ -251,6 +252,7 @@ func (f *fair[T]) Push(j Job[T]) {
 // iteration order.
 func (f *fair[T]) next() *fairClient[T] {
 	var best *fairClient[T]
+	//lint:deterministic the (inService, lastPop, arrival) key documented above is a total order over distinct clients, so the minimum is unique and iteration order cannot change the winner
 	for _, c := range f.clients {
 		if len(c.queue) == 0 {
 			continue
@@ -310,6 +312,7 @@ func (f *fair[T]) Snapshot() Snapshot {
 	}
 	if len(f.clients) > 0 {
 		s.Clients = make(map[string]ClientStat, len(f.clients))
+		//lint:deterministic builds a key-addressed map serialized via encoding/json (sorted keys); iteration order is unobservable
 		for id, c := range f.clients {
 			s.Clients[id] = ClientStat{
 				QueuedJobs:     len(c.queue),

@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -212,6 +214,38 @@ func TestEveryPushIsPopped(t *testing.T) {
 			if got[req] != n {
 				t.Errorf("%s: requester %q popped %d jobs, want %d", policy, req, got[req], n)
 			}
+		}
+	}
+}
+
+// TestSnapshotSerializesByteStable locks the claim behind the
+// //lint:deterministic directives on the Snapshot builders: the client
+// maps they range over are key-addressed and reach clients only as
+// sorted-key JSON, so two identically driven schedulers serialize to
+// identical bytes — under both policies, with jobs queued and in
+// service.
+func TestSnapshotSerializesByteStable(t *testing.T) {
+	for _, policy := range Names() {
+		drive := func(t *testing.T) []byte {
+			s := mustNew(t, policy)
+			for _, r := range []string{"carol", "alice", "bob", "dave", "erin"} {
+				push(s, r, r+"-1", 4)
+				push(s, r, r+"-2", 2)
+			}
+			for i := 0; i < 3; i++ {
+				if _, ok := s.Pop(); !ok {
+					t.Fatal("queue drained early")
+				}
+			}
+			b, err := json.Marshal(s.Snapshot())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		a, b := drive(t), drive(t)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: identically driven snapshots serialize differently:\n a: %s\n b: %s", policy, a, b)
 		}
 	}
 }

@@ -83,10 +83,12 @@ type Histogram struct {
 // bounds. It panics if bounds are empty or not strictly ascending.
 func NewHistogram(bounds ...uint64) *Histogram {
 	if len(bounds) == 0 {
+		//lint:panicfree documented constructor precondition; bucket tables are compiled-in static data
 		panic("stats: NewHistogram needs at least one bound")
 	}
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
+			//lint:panicfree documented constructor precondition; bucket tables are compiled-in static data
 			panic("stats: histogram bounds must be strictly ascending")
 		}
 	}

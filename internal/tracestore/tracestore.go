@@ -127,8 +127,9 @@ func (s *Store) Generate(name string, opt trace.Options) (*trace.Trace, error) {
 	}
 	opt = opt.Normalized()
 	key := Key{Benchmark: p.Name, Len: opt.Len, Seed: opt.Seed, DataBase: opt.DataBase, CodeBase: opt.CodeBase}
-	call, created := s.mem.Begin(key)
+	call, created := s.mem.Begin(key) //lint:ctxflow trace generation is bounded CPU-pure work that must complete into the shared cache regardless of requester death (the same contract running cells have), so it is never bound to one caller's context
 	if !created {
+		//lint:ctxflow joining an in-flight generation waits on the same uncancellable contract as owning it
 		return call.Wait()
 	}
 	if t, ok := s.disk.get(key); ok {
@@ -392,6 +393,7 @@ func (d *diskTier) forget(name string) {
 func (d *diskTier) evict() {
 	for d.maxBytes > 0 && d.bytes > d.maxBytes && len(d.entries) > 0 {
 		victim, min := "", uint64(1<<63)
+		//lint:deterministic victim selection minimizes seq, a per-store monotonic counter that is unique across entries, so iteration order cannot change which entry wins
 		for name, e := range d.entries {
 			if victim == "" || e.seq < min {
 				victim, min = name, e.seq

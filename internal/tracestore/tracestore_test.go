@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -294,5 +295,66 @@ func TestDiskByteBoundEvicts(t *testing.T) {
 	}
 	if st.DiskBytes > 1 && st.DiskFiles > 0 {
 		t.Fatalf("bound not enforced: %d files, %d bytes", st.DiskFiles, st.DiskBytes)
+	}
+}
+
+// TestDiskEvictionDeterministic locks the claim behind the
+// //lint:deterministic directive on diskTier.evict(): the victim is
+// the entry with the unique minimum access seq, so two stores driven
+// through an identical generation history shed exactly the same files,
+// whatever order their accounting maps happen to iterate in.
+func TestDiskEvictionDeterministic(t *testing.T) {
+	opt := func(i int) trace.Options { return trace.Options{Len: 300, Seed: uint64(1 + i)} }
+
+	// Size one entry to bound the real runs at four.
+	probe := t.TempDir()
+	ps, err := Open(0, probe, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Generate("art", opt(0)); err != nil {
+		t.Fatal(err)
+	}
+	entrySize := ps.Stats().DiskBytes
+	if entrySize == 0 {
+		t.Fatal("probe wrote no bytes")
+	}
+
+	history := func(t *testing.T) []string {
+		dir := t.TempDir()
+		// A 1-byte mem tier keeps nothing resident, so every reread goes
+		// back through the disk tier and bumps its access recency.
+		s, err := Open(1, dir, 4*entrySize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := s.Generate("art", opt(i)); err != nil {
+				t.Fatal(err)
+			}
+			// Interleaved rereads decouple recency from insertion order.
+			if i%3 == 0 {
+				if _, err := s.Generate("art", opt(i/2)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if st := s.Stats(); st.DiskEvictions == 0 {
+			t.Fatalf("history produced no disk evictions: %+v", st)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		sort.Strings(names)
+		return names
+	}
+	a, b := history(t), history(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical histories left different survivors:\n a: %v\n b: %v", a, b)
 	}
 }
