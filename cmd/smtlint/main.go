@@ -6,6 +6,13 @@
 //	go run ./cmd/smtlint ./...          # the CI lint gate
 //	go run ./cmd/smtlint -vet=false ./internal/sched
 //	go run ./cmd/smtlint -list
+//	go run ./cmd/smtlint -json ./...    # one JSON object per finding, per line
+//
+// With -json each finding (and, with -suppressed, each silenced
+// finding) prints as a single-line JSON object on stdout —
+// {"file":...,"line":...,"analyzer":...,"message":...,"suppressed":...}
+// — for editors and CI annotators; the human summary still goes to
+// stderr and the exit codes are unchanged.
 //
 // Findings print in the usual file:line:col form and make the process
 // exit 1; a clean tree exits 0. A finding is silenced — never casually:
@@ -19,19 +26,33 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/lint"
 )
 
+// jsonFinding is the -json wire form of one diagnostic: one object per
+// line, stable field set, so CI annotators and editors can consume
+// findings without parsing the human file:line:col rendering.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
 	vet := flag.Bool("vet", true, "also run the standard go vet passes over the same patterns")
 	list := flag.Bool("list", false, "list the suite's analyzers and exit")
 	showSuppressed := flag.Bool("suppressed", false, "also print findings silenced by justified //lint: directives")
+	jsonOut := flag.Bool("json", false, "print findings as one JSON object per line instead of file:line:col text")
 	flag.Parse()
 
 	analyzers := analysis.Analyzers()
@@ -60,6 +81,7 @@ func main() {
 		}
 	}
 
+	start := time.Now()
 	pkgs, err := lint.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -70,21 +92,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	emit := func(d lint.Diagnostic, suppressed bool) {
+		if *jsonOut {
+			line, _ := json.Marshal(jsonFinding{
+				File:       d.Pos.Filename,
+				Line:       d.Pos.Line,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: suppressed,
+			})
+			fmt.Println(string(line))
+		} else if suppressed {
+			fmt.Printf("%s (suppressed)\n", d)
+		} else {
+			fmt.Println(d)
+		}
+	}
 	for _, d := range res.Diagnostics {
-		fmt.Println(d)
+		emit(d, false)
 	}
 	if *showSuppressed {
 		for _, d := range res.Suppressed {
-			fmt.Printf("%s (suppressed)\n", d)
+			emit(d, true)
 		}
 	}
 	if n := len(res.Diagnostics); n > 0 {
-		fmt.Fprintf(os.Stderr, "smtlint: %d finding(s) across %d package(s) (%d suppressed by justified directives)\n",
-			n, len(pkgs), len(res.Suppressed))
+		fmt.Fprintf(os.Stderr, "smtlint: %d finding(s) across %d package(s) (%d suppressed by justified directives) in %s\n",
+			n, len(pkgs), len(res.Suppressed), elapsed)
 		failed = true
 	} else {
-		fmt.Fprintf(os.Stderr, "smtlint: clean — %d package(s), %d analyzer(s), %d finding(s) suppressed by justified directives\n",
-			len(pkgs), len(analyzers), len(res.Suppressed))
+		fmt.Fprintf(os.Stderr, "smtlint: clean — %d package(s), %d analyzer(s), %d finding(s) suppressed by justified directives in %s\n",
+			len(pkgs), len(analyzers), len(res.Suppressed), elapsed)
 	}
 	if failed {
 		os.Exit(1)

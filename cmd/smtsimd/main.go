@@ -61,8 +61,10 @@
 // results. -max-inflight-per-client N (0 = unbounded) additionally caps
 // concurrent scenario requests per client identity, answering breaches
 // with 429 and a Retry-After hint. /v1/metrics reports the queue depth
-// ("queued"), admission rejections ("rejected") and the scheduler's
-// per-client accounting ("scheduler").
+// ("queued"), admission rejections ("rejected"), the scheduler's
+// per-client accounting ("scheduler") and the live goroutine count
+// ("goroutines") — a leak gauge that returns to its post-startup
+// baseline when the daemon goes idle.
 //
 // Cancellation is first-class: every sweep executes under its request's
 // context, so a client that disconnects mid-sweep stops consuming the
@@ -86,6 +88,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -483,6 +486,10 @@ func (s *server) streamScenario(ctx context.Context, w http.ResponseWriter, sp *
 // tier enabled by -trace-dir), and batches/batchedCells count how much
 // simulation work rode the batched executor — K configurations advanced
 // over one shared trace in a single pass.
+// Goroutines is the process's live goroutine count — a leak gauge: it
+// returns to its post-startup baseline when the daemon is idle, so CI's
+// leak-smoke step (and any monitor) can assert sweeps do not strand
+// workers, waiters or response plumbing.
 // Queued counts grid cells accepted into the work queue but not yet
 // picked up by a worker — the complement of cache.inFlight, which only
 // counts started cells, so a daemon sitting on a deep backlog no longer
@@ -497,6 +504,7 @@ type metricsDoc struct {
 	Canceled        uint64           `json:"canceled"`
 	Rejected        uint64           `json:"rejected"`
 	Rows            uint64           `json:"rows"`
+	Goroutines      int              `json:"goroutines"`
 	Queued          int              `json:"queued"`
 	DiskHits        uint64           `json:"diskHits"`
 	DiskMisses      uint64           `json:"diskMisses"`
@@ -524,6 +532,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Canceled:        s.canceled.Load(),
 		Rejected:        s.rejected.Load(),
 		Rows:            s.rows.Load(),
+		Goroutines:      runtime.NumGoroutine(),
 		Queued:          schedSnap.QueuedCells,
 		DiskHits:        disk.Hits,
 		DiskMisses:      disk.Misses,

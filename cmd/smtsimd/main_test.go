@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/leakcheck"
 	"repro/internal/scenario"
 )
 
@@ -179,6 +180,10 @@ func TestNDJSONMatchesInProcess(t *testing.T) {
 // byte-identical bodies in every format, including concurrent requests
 // against one daemon (run under -race in CI).
 func TestResponseDeterministicAcrossWorkers(t *testing.T) {
+	// Registered before newTestServer's ts.Close cleanup so it runs after
+	// it (cleanups are LIFO): the check must see the listener closed and
+	// DefaultTransport's keep-alives drained, not flag them.
+	t.Cleanup(func() { leakcheck.Check(t) })
 	if testing.Short() {
 		t.Skip("simulation run")
 	}
@@ -265,6 +270,10 @@ func TestRequestTooLarge(t *testing.T) {
 // work drains to zero, and the request counts as canceled, never as a
 // simulation failure.
 func TestClientDisconnectStopsSweep(t *testing.T) {
+	// Registered before newTestServer's ts.Close cleanup so it runs after
+	// it (cleanups are LIFO): the check must see the listener closed and
+	// DefaultTransport's keep-alives drained, not flag them.
+	t.Cleanup(func() { leakcheck.Check(t) })
 	if testing.Short() {
 		t.Skip("simulation run")
 	}
@@ -356,6 +365,10 @@ func TestClientDisconnectStopsSweep(t *testing.T) {
 // mid-batch must stop it — cells whose only requester is gone are
 // dropped between rounds, un-fulfilled, their keys free to recompute.
 func TestClientDisconnectAbandonsBatch(t *testing.T) {
+	// Registered before newTestServer's ts.Close cleanup so it runs after
+	// it (cleanups are LIFO): the check must see the listener closed and
+	// DefaultTransport's keep-alives drained, not flag them.
+	t.Cleanup(func() { leakcheck.Check(t) })
 	if testing.Short() {
 		t.Skip("simulation run")
 	}
@@ -653,6 +666,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	if doc.Rejected != 0 {
 		t.Errorf("rejected = %d, want 0 (admission unbounded by default)", doc.Rejected)
 	}
+	if doc.Goroutines <= 0 {
+		t.Errorf("goroutines gauge = %d, want a live count", doc.Goroutines)
+	}
 }
 
 // postClient is post with an X-Client identity header.
@@ -780,6 +796,10 @@ func TestAdmissionPerClient(t *testing.T) {
 // response is either served or a clean 429, accounting never wedges, and
 // once the burst drains every client is admitted again.
 func TestAdmissionConcurrentClients(t *testing.T) {
+	// Registered before newTestServer's ts.Close cleanup so it runs after
+	// it (cleanups are LIFO): the check must see the listener closed and
+	// DefaultTransport's keep-alives drained, not flag them.
+	t.Cleanup(func() { leakcheck.Check(t) })
 	tiny := `{
 	  "name": "admission-burst",
 	  "workloads": {"adhoc": ["art+mcf"]},

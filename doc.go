@@ -172,7 +172,7 @@
 // The contracts above — byte-identical output, replayable simulations,
 // context threading, panic-free libraries — used to live only in tests
 // that catch violations after the fact. internal/analysis turns them
-// into lint-time invariants: a suite of five analyzers in the style of
+// into lint-time invariants: a suite of analyzers in the style of
 // golang.org/x/tools/go/analysis (built on an in-house stdlib-only
 // driver, internal/analysis/lint, so the tree stays dependency-free),
 // run by cmd/smtlint alongside go vet. detrange flags range-over-map in
@@ -188,6 +188,34 @@
 // is mandatory, suppressions are themselves test-locked, and
 // TestLintClean keeps `go run ./cmd/smtlint ./...` at zero findings on
 // every commit. See internal/analysis/README.md.
+//
+// # Concurrency invariants
+//
+// The serving layers are lock-heavy and goroutine-spawning by design —
+// a singleflight cache, a fair scheduler, a worker pool, two disk
+// tiers — so their correctness contracts are enforced twice, once
+// statically and once dynamically. Statically, the lint suite grew a
+// control-flow-graph and forward-dataflow layer
+// (internal/analysis/lint, mirroring the shapes of x/tools/go/cfg on
+// the stdlib only) and three flow-sensitive analyzers over it:
+// lockbalance proves every acquired mutex is released on every path
+// out of the function (early returns, panics, and conditional arms
+// included, with defer recognized as all-exits coverage); lockorder
+// builds the whole-program lock-acquisition graph across the
+// concurrent packages — which lock classes are held when each class is
+// acquired, followed through calls — and flags any cycle, the
+// canonical AB/BA deadlock; gorolife requires every go statement to be
+// provably reaped, meaning some completion signal (WaitGroup.Done, a
+// send on or close of an external channel, or a Done-pattern receive
+// such as <-ctx.Done()) fires on all paths out of the goroutine body.
+// Dynamically, internal/leakcheck — a stdlib-only reduction of
+// go.uber.org/goleak — gates the concurrent packages' test suites:
+// TestMain diffs live goroutines against the pre-suite baseline, and
+// the heavy concurrency tests defer a per-test check, so a goroutine
+// that signals but is never actually waited on (which passes gorolife)
+// fails the run. The daemon exposes a "goroutines" gauge in
+// /v1/metrics, and CI's leak-smoke step asserts the count returns to
+// its post-startup baseline after a full smtload run.
 //
 // Start with README.md for a tour, DESIGN.md for the architecture and the
 // substitutions made for unavailable artifacts, and EXPERIMENTS.md for the

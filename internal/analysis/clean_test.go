@@ -50,10 +50,11 @@ func TestLintClean(t *testing.T) {
 }
 
 // TestSeededViolationsAreCaught builds a throwaway module that commits
-// the two headline sins — a raw map range in a serializing package and
-// a wall-clock read in a simulation package — and checks the suite
-// actually fires on them. TestLintClean alone would also pass if the
-// analyzers went blind; this test pins their teeth.
+// the headline sins — a raw map range in a serializing package, a
+// wall-clock read in a simulation package, an unbalanced mutex, a
+// cyclic lock-acquisition order and a fire-and-forget goroutine — and
+// checks the suite actually fires on each. TestLintClean alone would
+// also pass if the analyzers went blind; this test pins their teeth.
 func TestSeededViolationsAreCaught(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a scratch module")
@@ -92,6 +93,57 @@ func Stamp() int64 {
 	return time.Now().UnixNano()
 }
 `)
+	write("internal/simcache/bad.go", `package simcache
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	rows map[string]int
+}
+
+type index struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+// Leak holds the lock on the early return.
+func (s *store) Leak(k string) int {
+	s.mu.Lock()
+	v, ok := s.rows[k]
+	if !ok {
+		return 0
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// AB and BA acquire the two locks in opposite orders.
+func AB(s *store, ix *index) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ix.mu.Lock()
+	ix.keys = ix.keys[:0]
+	ix.mu.Unlock()
+}
+
+func BA(s *store, ix *index) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	s.mu.Lock()
+	s.rows = nil
+	s.mu.Unlock()
+}
+
+// Spawn starts a goroutine nothing ever reaps.
+func Spawn(s *store) {
+	go func() {
+		s.mu.Lock()
+		s.rows = map[string]int{}
+		s.mu.Unlock()
+	}()
+}
+`)
 	pkgs, err := lint.Load(dir, "./...")
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +156,7 @@ func Stamp() int64 {
 	for _, d := range res.Diagnostics {
 		found[d.Analyzer] = true
 	}
-	for _, want := range []string{"detrange", "nowallclock"} {
+	for _, want := range []string{"detrange", "nowallclock", "lockbalance", "lockorder", "gorolife"} {
 		if !found[want] {
 			t.Errorf("seeded violation for %s not reported; diagnostics: %v", want, res.Diagnostics)
 		}

@@ -1,0 +1,303 @@
+// Package gorolife requires every goroutine started in library code to
+// be provably reaped: on every path out of the goroutine body, some
+// signal must tie its lifetime to the rest of the program. A
+// fire-and-forget goroutine outlives the operation that started it —
+// under this repo's daemon that means work continuing after cancel,
+// goroutines accumulating across requests, and shutdown that cannot
+// drain; the leakcheck test layer catches the ones tests happen to
+// trigger, this analyzer covers the rest statically.
+//
+// Accepted signals, checked on every reachable exit path of the
+// goroutine's function literal (deferred signals cover panic exits
+// too):
+//
+//   - sync.WaitGroup.Done on a WaitGroup declared outside the body;
+//   - a send on, or close of, a channel declared outside the body;
+//   - the Done pattern: a receive from an external channel — `<-done`,
+//     `<-ctx.Done()`, or ranging over an input channel — which bounds
+//     the goroutine's lifetime by external coordination.
+//
+// A goroutine whose body cannot exit (an intentional worker loop) is
+// accepted when the loop itself signals — each iteration's send is the
+// "still alive, here's a result" handshake — and flagged when nothing
+// inside ever signals: a silent infinite loop is unreapable by
+// construction.
+//
+// `go f(...)` on a named function is always flagged: the lifecycle
+// contract lives in f's body, which may change far from this call
+// site. Wrap the call in a literal that signals, or justify the site —
+// the bounded-worker-pool pattern (accounting under a mutex, as in
+// internal/experiments) is the canonical justified case.
+//
+// Reports note when the go statement sits inside a loop: each
+// iteration then leaks its own goroutine, which is how counts grow
+// with workload rather than staying O(1).
+package gorolife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/lint"
+	"repro/internal/analysis/lockset"
+)
+
+// Analyzer is the gorolife check.
+var Analyzer = &lint.Analyzer{
+	Name: "gorolife",
+	Doc: "flag fire-and-forget goroutines: every go statement must signal completion " +
+		"(WaitGroup.Done, channel send/close, or a Done-pattern receive) on all paths, or carry a justification",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		// Maintain the ancestor stack along the walk (ast.Inspect post-
+		// visits nil once per node, balancing every push) so reports can
+		// say "started inside a loop".
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if g, ok := n.(*ast.GoStmt); ok {
+				checkGo(pass, g, inLoop(stack))
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil
+}
+
+// inLoop reports whether the innermost enclosing construct of the
+// stack top, up to the nearest function boundary, is a loop: a go
+// statement there starts one goroutine per iteration.
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+func checkGo(pass *lint.Pass, g *ast.GoStmt, inLoop bool) {
+	loopNote := ""
+	if inLoop {
+		loopNote = "; started inside a loop, so each iteration leaks one"
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		pass.Reportf(g.Pos(),
+			"go statement calls a named function, so its completion contract cannot be checked here%s; "+
+				"wrap it in a literal that signals (WaitGroup.Done, channel send/close) or justify with //lint:gorolife",
+			loopNote)
+		return
+	}
+
+	sig := newSignals(pass.TypesInfo, lit)
+	cfg := lint.NewCFG(lit.Body)
+	_, out := lint.Forward[sigFact](cfg, sig)
+	reach := cfg.Reachable()
+
+	exits := 0
+	for _, b := range cfg.Exits() {
+		if !reach[b.Index] {
+			continue
+		}
+		exits++
+		fact := out[b]
+		if !fact.sig && !fact.def {
+			pass.Reportf(g.Pos(),
+				"goroutine can exit without signaling completion (no WaitGroup.Done, channel operation or Done-pattern receive on this path)%s; "+
+					"reap it or justify with //lint:gorolife",
+				loopNote)
+			return
+		}
+	}
+	if exits == 0 && !sig.anywhere {
+		pass.Reportf(g.Pos(),
+			"goroutine never exits and never signals: a silent infinite loop cannot be reaped%s; "+
+				"signal per iteration, select on a done channel, or justify with //lint:gorolife",
+			loopNote)
+	}
+}
+
+// sigFact is the must-signal state on one path: sig is a signal already
+// executed, def a deferred signal registered (covers panic exits too).
+type sigFact struct {
+	sig, def bool
+}
+
+// signals is the lattice; anywhere records whether any signal exists in
+// the body at all (the infinite-loop test).
+type signals struct {
+	info     *types.Info
+	body     *ast.FuncLit
+	anywhere bool
+}
+
+func newSignals(info *types.Info, lit *ast.FuncLit) *signals {
+	s := &signals{info: info, body: lit}
+	// One syntactic pre-pass for the "any signal at all" question, so it
+	// does not depend on reachability.
+	inspectOwn(lit.Body, func(n ast.Node) {
+		if s.isSignal(n) {
+			s.anywhere = true
+		}
+	})
+	return s
+}
+
+func (s *signals) Entry() sigFact { return sigFact{} }
+func (s *signals) Join(a, b sigFact) sigFact {
+	return sigFact{sig: a.sig && b.sig, def: a.def && b.def}
+}
+func (s *signals) Equal(a, b sigFact) bool { return a == b }
+
+// Transfer scans only each node's own operations. Compound statements
+// placed in blocks as anchors (range, switch, select) contain their
+// body statements syntactically, but those bodies live in other blocks
+// — descending into them here would credit a signal to paths that skip
+// it — so anchors contribute only their shallow operation.
+func (s *signals) Transfer(b *lint.Block, in sigFact) sigFact {
+	out := in
+	for _, n := range b.Nodes {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if s.deferSignals(n) {
+				out.def = true
+			}
+		case *ast.RangeStmt:
+			// The anchor's own operation: ranging over an external channel
+			// is the Done pattern (the loop ends when the producer closes).
+			if t := s.info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan && s.external(n.X) {
+					out.sig = true
+				}
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil && s.scanExpr(n.Tag) {
+				out.sig = true
+			}
+		case *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.ForStmt, *ast.IfStmt, *ast.BlockStmt, *ast.LabeledStmt:
+			// Compound anchors with nothing shallow to scan: their pieces
+			// (conditions, comm clauses, bodies) are separate block nodes.
+		default:
+			if s.scanExpr(n) {
+				out.sig = true
+			}
+		}
+	}
+	return out
+}
+
+// scanExpr inspects one simple statement or expression for a signal.
+func (s *signals) scanExpr(n ast.Node) bool {
+	found := false
+	inspectOwn(n, func(m ast.Node) {
+		if s.isSignal(m) {
+			found = true
+		}
+	})
+	return found
+}
+
+// deferSignals reports whether a defer registers a completion signal:
+// a directly deferred Done/close, or one inside a deferred literal.
+func (s *signals) deferSignals(d *ast.DeferStmt) bool {
+	if s.isSignal(d.Call) {
+		return true
+	}
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		found := false
+		inspectOwn(lit.Body, func(m ast.Node) {
+			if s.isSignal(m) {
+				found = true
+			}
+		})
+		return found
+	}
+	return false
+}
+
+// isSignal recognizes one completion signal on an external object:
+// wg.Done(), close(ch), ch <- v, or a Done-pattern receive <-ch.
+func (s *signals) isSignal(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return s.external(n.Chan)
+	case *ast.UnaryExpr:
+		return n.Op == token.ARROW && s.external(n.X)
+	case *ast.CallExpr:
+		if recv, ok := lockset.WaitGroupDone(s.info, n); ok {
+			return s.external(recv)
+		}
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 {
+			if b, isB := s.info.Uses[id].(*types.Builtin); isB && b.Name() == "close" {
+				return s.external(n.Args[0])
+			}
+		}
+	}
+	return false
+}
+
+// external reports whether e is rooted at an object declared outside
+// the goroutine body — a captured variable, a field of one, or a
+// parameter of the literal itself (parameters are bound by the caller,
+// so a channel passed in is outside coordination). For a call like
+// ctx.Done(), the coordination object is the receiver.
+func (s *signals) external(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return s.external(sel.X)
+		}
+		return false
+	}
+	root, ok := rootOf(s.info, e)
+	if !ok {
+		return false
+	}
+	return root.Pos() < s.body.Body.Pos() || root.Pos() >= s.body.Body.End()
+}
+
+// rootOf resolves the base object of an ident / selector / deref chain.
+func rootOf(info *types.Info, e ast.Expr) (types.Object, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		return obj, obj != nil
+	case *ast.SelectorExpr:
+		return rootOf(info, e.X)
+	case *ast.StarExpr:
+		return rootOf(info, e.X)
+	}
+	return nil, false
+}
+
+// inspectOwn walks n without descending into nested function literals
+// or go statements: their code is another goroutine's story.
+func inspectOwn(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			if m != n {
+				return false
+			}
+		}
+		if m != nil {
+			visit(m)
+		}
+		return true
+	})
+}

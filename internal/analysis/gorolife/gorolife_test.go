@@ -1,0 +1,18 @@
+package gorolife_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/gorolife"
+	"repro/internal/analysis/lintest"
+)
+
+// TestGoroLife runs the analyzer over the seeded shapes: fire-and-
+// forget goroutines (no signal, named function, per-iteration leak,
+// partial-path signal, silent spinner) must be flagged, the justified
+// pool worker must be suppressed, and every reaped pattern (WaitGroup,
+// result send, close, ctx.Done, channel range, passed-in channel) must
+// stay silent.
+func TestGoroLife(t *testing.T) {
+	lintest.Run(t, gorolife.Analyzer, "testdata/pkg", "repro/internal/gorotest")
+}

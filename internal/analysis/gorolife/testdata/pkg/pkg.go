@@ -1,0 +1,137 @@
+// Seeded goroutine-lifecycle shapes: each // want line is a
+// fire-and-forget goroutine the analyzer must flag, everything else is
+// a reaped pattern it must accept.
+package gorotest
+
+import (
+	"context"
+	"sync"
+)
+
+func process(x int) int { return x * 2 }
+
+// Violation: nothing ever signals completion.
+func fireAndForget() {
+	go func() { // want "goroutine can exit without signaling completion"
+		_ = process(1)
+	}()
+}
+
+// Violation: a named function's contract cannot be checked at the site.
+func namedFunction() {
+	go leakyWorker() // want "go statement calls a named function"
+}
+
+func leakyWorker() { _ = process(2) }
+
+// Violation: started in a loop, one leak per iteration.
+func leakPerItem(xs []int) {
+	for range xs {
+		go func() { // want "goroutine can exit without signaling completion.*started inside a loop"
+			_ = process(3)
+		}()
+	}
+}
+
+// Violation: signals on the happy path but not on the early return.
+func signalsOnSomePathsOnly(ch chan int, fail bool) {
+	go func() { // want "goroutine can exit without signaling completion"
+		if fail {
+			return
+		}
+		ch <- process(4)
+	}()
+}
+
+// Violation: a silent infinite loop is unreapable.
+func silentSpinner() {
+	go func() { // want "never exits and never signals"
+		for {
+			_ = process(5)
+		}
+	}()
+}
+
+// Suppressed: the bounded-pool pattern justifies itself.
+func pooled(p *pool) {
+	//lint:gorolife worker accounting in p.workers bounds and reaps the pool
+	go p.work() // want-suppressed "named function"
+}
+
+type pool struct {
+	mu      sync.Mutex
+	workers int
+}
+
+func (p *pool) work() {}
+
+// --- Reaped patterns the analyzer must accept silently. ---
+
+// The canonical WaitGroup pair, deferred so panics signal too.
+func waited(wg *sync.WaitGroup, xs []int) {
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = process(x)
+		}()
+	}
+	wg.Wait()
+}
+
+// A result send on every path out.
+func resultChannel(fail bool) chan int {
+	out := make(chan int, 1)
+	go func() {
+		if fail {
+			out <- 0
+			return
+		}
+		out <- process(6)
+	}()
+	return out
+}
+
+// Closing the channel signals completion to the ranging consumer.
+func producer(xs []int) chan int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for _, x := range xs {
+			out <- process(x)
+		}
+	}()
+	return out
+}
+
+// The Done pattern: lifetime bounded by an external context.
+func untilCancelled(ctx context.Context, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-tick:
+				_ = process(v)
+			}
+		}
+	}()
+}
+
+// Ranging over the input channel: the worker ends when the producer
+// closes it.
+func rangeWorker(in chan int) {
+	go func() {
+		for v := range in {
+			_ = process(v)
+		}
+	}()
+}
+
+// A parameter-passed channel is external coordination too.
+func parameterised(done chan struct{}) {
+	go func(d chan struct{}) {
+		_ = process(7)
+		close(d)
+	}(done)
+}

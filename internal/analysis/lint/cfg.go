@@ -1,0 +1,462 @@
+// Control-flow graphs over go/ast function bodies.
+//
+// NewCFG builds a graph of basic blocks from a parsed (and, for the
+// analyzers that use it, type-checked) function body, handling the full
+// statement grammar: if/else chains, for and range loops, switch, type
+// switch and select, labeled break/continue/goto, fallthrough, and the
+// terminating builtins (panic, plus the well-known no-return exits such
+// as os.Exit). The shapes deliberately mirror golang.org/x/tools/go/cfg
+// — a CFG is a slice of Blocks, a Block is a Nodes list plus Succs —
+// so a future port to the upstream package is a mechanical change of
+// import paths, exactly like the rest of this lint framework.
+//
+// Deliberate simplifications, shared with the upstream package: defer
+// statements appear as ordinary nodes in their block (analyzers that
+// care about function exit collect them separately), expressions are
+// not decomposed into sub-blocks (short-circuit && / || do not branch),
+// and a call is assumed to return unless it is one of the recognized
+// no-return functions.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A CFG is the control-flow graph of one function body. Blocks[0] is
+// the entry block; blocks unreachable from it may still appear (dead
+// code after return, bodies of labeled statements only reached by goto
+// are reachable, etc.) — use Reachable to filter.
+type CFG struct {
+	Blocks []*Block
+}
+
+// A Block is one basic block: statements that execute sequentially,
+// followed by a transfer of control to one of Succs.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Kind describes why the block exists, for debugging output.
+	Kind string
+	// Nodes are the block's statements (and range/switch/select anchors)
+	// in execution order.
+	Nodes []ast.Node
+	// Succs are the possible successors. Empty for exit blocks: a
+	// return, a terminating call (panic and friends), or falling off
+	// the end of the function.
+	Succs []*Block
+}
+
+// Returns reports whether the block is an exit ending in an explicit
+// return statement.
+func (b *Block) Returns() bool {
+	if len(b.Succs) != 0 || len(b.Nodes) == 0 {
+		return false
+	}
+	_, ok := b.Nodes[len(b.Nodes)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// Panics reports whether the block is an exit ending in a call to a
+// terminating function (panic, os.Exit, log.Fatal, ...).
+func (b *Block) Panics() bool {
+	if len(b.Succs) != 0 || len(b.Nodes) == 0 {
+		return false
+	}
+	es, ok := b.Nodes[len(b.Nodes)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	return ok && isTerminatingCall(call)
+}
+
+// Exits returns the blocks control leaves the function from: blocks
+// with no successors.
+func (g *CFG) Exits() []*Block {
+	var out []*Block
+	for _, b := range g.Blocks {
+		if len(b.Succs) == 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// String renders the graph for debugging and the cfg tests.
+func (g *CFG) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "block %d (%s): %d nodes ->", b.Index, b.Kind, len(b.Nodes))
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " %d", s.Index)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// isTerminatingCall recognizes calls that never return: the panic
+// builtin and the conventional process-exit helpers. Matching is
+// syntactic (by final selector name) on purpose — the CFG is built
+// before (or without) type information, and a false "may return" edge
+// only widens the graph, which every analyzer here treats
+// conservatively.
+func isTerminatingCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		base, ok := ast.Unparen(fun.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch base.Name + "." + fun.Sel.Name {
+		case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+			return true
+		}
+	}
+	return false
+}
+
+// NewCFG builds the control-flow graph of body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: map[string]*labelInfo{}}
+	b.current = b.newBlock("entry")
+	b.stmt(body)
+	return b.cfg
+}
+
+// labelInfo tracks the blocks a label's goto/break/continue resolve to.
+type labelInfo struct {
+	// target is the block the labeled statement begins at (goto L).
+	target *Block
+	// brk and cont are the break/continue targets while the labeled
+	// loop/switch is being built (nil outside it).
+	brk, cont *Block
+	// used marks forward gotos so the target block is wired when the
+	// labeled statement is eventually reached.
+	pendingGoto []*Block
+}
+
+// cfgBuilder is the single-pass CFG constructor. current is the block
+// under construction; nil means the point is unreachable (after a
+// return) — statements still get blocks (so analyzers see their nodes)
+// but no edge leads in.
+type cfgBuilder struct {
+	cfg     *CFG
+	current *Block
+	// breaks and continues are the enclosing unlabeled targets.
+	breaks    []*Block
+	continues []*Block
+	labels    map[string]*labelInfo
+	// curLabel is the label immediately preceding a for/range/switch/
+	// select statement, so "break L"/"continue L" resolve to it.
+	curLabel *labelInfo
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge wires from -> to (nil-safe on both ends).
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock begins a new block and makes it current, wiring an edge
+// from the previous current block.
+func (b *cfgBuilder) startBlock(kind string) *Block {
+	blk := b.newBlock(kind)
+	b.edge(b.current, blk)
+	b.current = blk
+	return blk
+}
+
+// add appends a node to the current block, materializing a block for
+// statically unreachable code so its nodes still exist in the graph.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.current == nil {
+		b.current = b.newBlock("unreachable")
+	}
+	b.current.Nodes = append(b.current.Nodes, n)
+}
+
+// stmt translates one statement into blocks and edges.
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			b.stmt(inner)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.current
+		join := b.newBlock("if.done")
+		b.current = nil
+		thenEntry := b.startBlock("if.then")
+		b.edge(cond, thenEntry)
+		b.stmt(s.Body)
+		b.edge(b.current, join)
+		if s.Else != nil {
+			b.current = nil
+			elseEntry := b.startBlock("if.else")
+			b.edge(cond, elseEntry)
+			b.stmt(s.Else)
+			b.edge(b.current, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.current = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		label := b.takeLabel()
+		head := b.startBlock("for.head")
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		done := b.newBlock("for.done")
+		post := b.newBlock("for.post")
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		b.edge(post, head)
+		if s.Cond != nil {
+			b.edge(head, done)
+		}
+		b.pushLoop(label, done, post)
+		b.current = nil
+		bodyEntry := b.startBlock("for.body")
+		b.edge(head, bodyEntry)
+		b.stmt(s.Body)
+		b.edge(b.current, post)
+		b.popLoop(true)
+		b.current = done
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.startBlock("range.head")
+		b.add(s)
+		done := b.newBlock("range.done")
+		b.edge(head, done)
+		b.pushLoop(label, done, head)
+		b.current = nil
+		bodyEntry := b.startBlock("range.body")
+		b.edge(head, bodyEntry)
+		b.stmt(s.Body)
+		b.edge(b.current, head)
+		b.popLoop(true)
+		b.current = done
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.add(s)
+		entry := b.current
+		done := b.newBlock("select.done")
+		b.pushLoop(label, done, nil)
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			b.current = nil
+			caseBlk := b.startBlock("select.case")
+			b.edge(entry, caseBlk)
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			for _, inner := range cc.Body {
+				b.stmt(inner)
+			}
+			b.edge(b.current, done)
+		}
+		// A select with no cases blocks forever; one with cases always
+		// takes some case, so no entry->done edge.
+		if len(s.Body.List) == 0 {
+			b.edge(entry, done)
+		}
+		b.popLoop(false)
+		b.current = done
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.current = nil
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			b.edge(b.current, b.branchTarget(s, false))
+		case token.CONTINUE:
+			b.edge(b.current, b.branchTarget(s, true))
+		case token.GOTO:
+			li := b.label(s.Label.Name)
+			if li.target != nil {
+				b.edge(b.current, li.target)
+			} else {
+				li.pendingGoto = append(li.pendingGoto, b.current)
+			}
+		case token.FALLTHROUGH:
+			// Handled by switchStmt clause wiring; nothing to do here.
+		}
+		if s.Tok != token.FALLTHROUGH {
+			b.current = nil
+		}
+
+	case *ast.LabeledStmt:
+		li := b.label(s.Label.Name)
+		target := b.startBlock("label." + s.Label.Name)
+		li.target = target
+		for _, from := range li.pendingGoto {
+			b.edge(from, target)
+		}
+		li.pendingGoto = nil
+		b.curLabel = li
+		b.stmt(s.Stmt)
+		b.curLabel = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isTerminatingCall(call) {
+			b.current = nil
+		}
+
+	default:
+		// Assignments, declarations, defer, go, send, inc/dec, empty:
+		// straight-line nodes.
+		if s != nil {
+			if _, ok := s.(*ast.EmptyStmt); !ok {
+				b.add(s)
+			}
+		}
+	}
+}
+
+// switchStmt handles expression and type switches, including
+// fallthrough chains and the implicit no-default edge to done.
+func (b *cfgBuilder) switchStmt(s ast.Stmt) {
+	var body *ast.BlockStmt
+	label := (*labelInfo)(nil)
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		label = b.takeLabel()
+		b.add(s)
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		label = b.takeLabel()
+		b.add(s)
+		body = s.Body
+	}
+	entry := b.current
+	done := b.newBlock("switch.done")
+	b.pushLoop(label, done, nil)
+	hasDefault := false
+	// Build each clause's entry block first so fallthrough can wire
+	// clause i to clause i+1's body.
+	entries := make([]*Block, len(body.List))
+	for i := range body.List {
+		entries[i] = b.newBlock("switch.case")
+		b.edge(entry, entries[i])
+	}
+	for i, clause := range body.List {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.current = entries[i]
+		fallsThrough := false
+		for _, inner := range cc.Body {
+			if br, ok := inner.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+			b.stmt(inner)
+		}
+		if fallsThrough && i+1 < len(entries) {
+			b.edge(b.current, entries[i+1])
+			b.current = nil
+		}
+		b.edge(b.current, done)
+	}
+	if !hasDefault {
+		b.edge(entry, done)
+	}
+	b.popLoop(false)
+	b.current = done
+}
+
+// takeLabel consumes the label attached to the statement being built,
+// if any, so break L / continue L resolve to this construct.
+func (b *cfgBuilder) takeLabel() *labelInfo {
+	li := b.curLabel
+	b.curLabel = nil
+	return li
+}
+
+// pushLoop registers break/continue targets (cont nil for switch and
+// select, which break but do not continue).
+func (b *cfgBuilder) pushLoop(label *labelInfo, brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	if cont != nil {
+		b.continues = append(b.continues, cont)
+	}
+	if label != nil {
+		label.brk, label.cont = brk, cont
+	}
+}
+
+func (b *cfgBuilder) popLoop(hadCont bool) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if hadCont {
+		b.continues = b.continues[:len(b.continues)-1]
+	}
+}
+
+// branchTarget resolves a break or continue statement's destination.
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt, isContinue bool) *Block {
+	if s.Label != nil {
+		li := b.label(s.Label.Name)
+		if isContinue {
+			return li.cont
+		}
+		return li.brk
+	}
+	if isContinue {
+		if n := len(b.continues); n > 0 {
+			return b.continues[n-1]
+		}
+		return nil
+	}
+	if n := len(b.breaks); n > 0 {
+		return b.breaks[n-1]
+	}
+	return nil
+}
+
+func (b *cfgBuilder) label(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}

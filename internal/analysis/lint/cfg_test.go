@@ -1,0 +1,473 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildCFG parses src as the body of a function and returns its graph.
+func buildCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	fd := f.Decls[len(f.Decls)-1].(*ast.FuncDecl)
+	return NewCFG(fd.Body)
+}
+
+// exitKinds summarizes the exits of a graph for assertions.
+func exitKinds(g *CFG) (returns, panics, falls int) {
+	reach := g.Reachable()
+	for _, b := range g.Exits() {
+		if !reach[b.Index] {
+			continue
+		}
+		switch {
+		case b.Returns():
+			returns++
+		case b.Panics():
+			panics++
+		default:
+			falls++
+		}
+	}
+	return
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildCFG(t, "x := 1\n_ = x")
+	if len(g.Exits()) != 1 {
+		t.Fatalf("want 1 exit, got %d\n%s", len(g.Exits()), g)
+	}
+	r, p, fall := exitKinds(g)
+	if r != 0 || p != 0 || fall != 1 {
+		t.Fatalf("want fall-off exit, got returns=%d panics=%d falls=%d\n%s", r, p, fall, g)
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	g := buildCFG(t, `
+	x := 1
+	if x > 0 {
+		x = 2
+	} else {
+		x = 3
+	}
+	_ = x`)
+	// Entry, then, else, join: the condition block has two successors.
+	cond := g.Blocks[0]
+	if len(cond.Succs) != 2 {
+		t.Fatalf("condition block wants 2 successors, got %d\n%s", len(cond.Succs), g)
+	}
+	if n := len(g.Exits()); n != 1 {
+		t.Fatalf("want 1 exit, got %d\n%s", n, g)
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	g := buildCFG(t, `
+	x := 1
+	if x > 0 {
+		return
+	}
+	_ = x`)
+	r, _, fall := exitKinds(g)
+	if r != 1 || fall != 1 {
+		t.Fatalf("want one return exit and one fall-off exit, got returns=%d falls=%d\n%s", r, fall, g)
+	}
+}
+
+func TestCFGEarlyReturnMakesDeadCode(t *testing.T) {
+	g := buildCFG(t, "return\nx := 1\n_ = x")
+	reach := g.Reachable()
+	dead := 0
+	for _, b := range g.Blocks {
+		if !reach[b.Index] && len(b.Nodes) > 0 {
+			dead++
+		}
+	}
+	if dead == 0 {
+		t.Fatalf("statements after return should live in an unreachable block\n%s", g)
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := buildCFG(t, `
+	for i := 0; i < 10; i++ {
+		if i == 5 {
+			break
+		}
+		if i == 3 {
+			continue
+		}
+	}`)
+	// The loop must contain a back edge: some block's successor has a
+	// smaller reverse-post-order position.
+	order := g.ReversePostOrder()
+	pos := map[*Block]int{}
+	for i, b := range order {
+		pos[b] = i
+	}
+	back := false
+	for _, b := range order {
+		for _, s := range b.Succs {
+			if sp, ok := pos[s]; ok && sp <= pos[b] {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatalf("loop graph has no back edge\n%s", g)
+	}
+	if n := len(g.Exits()); n != 1 {
+		t.Fatalf("want 1 exit, got %d\n%s", n, g)
+	}
+}
+
+func TestCFGInfiniteLoopHasNoReachableExit(t *testing.T) {
+	g := buildCFG(t, "for {\n\tx := 1\n\t_ = x\n}")
+	reach := g.Reachable()
+	for _, b := range g.Exits() {
+		if reach[b.Index] {
+			t.Fatalf("infinite loop should have no reachable exit, block %d is one\n%s", b.Index, g)
+		}
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	g := buildCFG(t, `
+	xs := []int{1, 2}
+	for _, x := range xs {
+		_ = x
+	}`)
+	if n := len(g.Exits()); n != 1 {
+		t.Fatalf("want 1 exit, got %d\n%s", n, g)
+	}
+	// The range anchor node must appear in some block so analyzers see it.
+	found := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("range statement anchor missing from graph\n%s", g)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildCFG(t, `
+	x := 1
+	switch x {
+	case 1:
+		x = 10
+		fallthrough
+	case 2:
+		x = 20
+	default:
+		x = 30
+	}
+	_ = x`)
+	// Find the block holding "x = 10"; its successor chain must reach the
+	// case-2 body without passing through the switch entry.
+	var caseOne *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if lit, ok := as.Rhs[0].(*ast.BasicLit); ok && lit.Value == "10" {
+					caseOne = b
+				}
+			}
+		}
+	}
+	if caseOne == nil {
+		t.Fatalf("case 1 body block not found\n%s", g)
+	}
+	throughTo20 := false
+	for _, s := range caseOne.Succs {
+		for _, n := range s.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if lit, ok := as.Rhs[0].(*ast.BasicLit); ok && lit.Value == "20" {
+					throughTo20 = true
+				}
+			}
+		}
+	}
+	if !throughTo20 {
+		t.Fatalf("fallthrough edge from case 1 to case 2 missing\n%s", g)
+	}
+}
+
+func TestCFGSwitchWithoutDefaultReachesDone(t *testing.T) {
+	g := buildCFG(t, `
+	x := 1
+	switch x {
+	case 1:
+		return
+	}
+	_ = x`)
+	r, _, fall := exitKinds(g)
+	if r != 1 || fall != 1 {
+		t.Fatalf("no-default switch: want return exit and fall-off exit, got returns=%d falls=%d\n%s", r, fall, g)
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := buildCFG(t, `
+	ch := make(chan int)
+	select {
+	case v := <-ch:
+		_ = v
+	case ch <- 1:
+	}`)
+	if n := len(g.Exits()); n != 1 {
+		t.Fatalf("want 1 exit, got %d\n%s", n, g)
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildCFG(t, `
+outer:
+	for {
+		for {
+			break outer
+		}
+	}
+	x := 1
+	_ = x`)
+	// The labeled break must make the code after the loops reachable.
+	reach := g.Reachable()
+	reachedTail := false
+	for _, b := range g.Blocks {
+		if !reach[b.Index] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "x" {
+					reachedTail = true
+				}
+			}
+		}
+	}
+	if !reachedTail {
+		t.Fatalf("break outer should reach the statement after the loops\n%s", g)
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	g := buildCFG(t, `
+	x := 0
+	goto done
+done:
+	x = 1
+	_ = x`)
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if strings.HasPrefix(b.Kind, "label.") && !reach[b.Index] {
+			t.Fatalf("goto target should be reachable\n%s", g)
+		}
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	g := buildCFG(t, `
+	x := 1
+	if x > 0 {
+		panic("boom")
+	}
+	_ = x`)
+	_, p, fall := exitKinds(g)
+	if p != 1 || fall != 1 {
+		t.Fatalf("want one panic exit and one fall-off exit, got panics=%d falls=%d\n%s", p, fall, g)
+	}
+}
+
+func TestCFGOSExitTerminates(t *testing.T) {
+	g := buildCFG(t, `
+	x := 1
+	if x > 0 {
+		os.Exit(1)
+	}
+	_ = x`)
+	_, p, fall := exitKinds(g)
+	if p != 1 || fall != 1 {
+		t.Fatalf("want one terminating exit and one fall-off exit, got panics=%d falls=%d\n%s", p, fall, g)
+	}
+}
+
+// assignedLattice is the classic must-assign problem: the set of
+// variables assigned on every path. Join is set intersection, so a
+// variable assigned on only one branch of an if is not must-assigned
+// at the join — the property the tests below pin down.
+type assignedLattice struct{}
+
+func (assignedLattice) Entry() map[string]bool { return map[string]bool{} }
+
+func (assignedLattice) Join(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (assignedLattice) Equal(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (assignedLattice) Transfer(b *Block, in map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range in {
+		out[k] = true
+	}
+	for _, n := range b.Nodes {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// mustAssignedAtExit solves the problem and returns the fact at the
+// single reachable exit.
+func mustAssignedAtExit(t *testing.T, g *CFG) map[string]bool {
+	t.Helper()
+	_, out := Forward[map[string]bool](g, assignedLattice{})
+	reach := g.Reachable()
+	for _, b := range g.Exits() {
+		if reach[b.Index] {
+			return out[b]
+		}
+	}
+	t.Fatalf("no reachable exit\n%s", g)
+	return nil
+}
+
+func TestForwardBranchJoinIntersects(t *testing.T) {
+	g := buildCFG(t, `
+	c := true
+	if c {
+		a := 1
+		_ = a
+	} else {
+		b := 2
+		_ = b
+	}`)
+	got := mustAssignedAtExit(t, g)
+	if got["a"] || got["b"] {
+		t.Fatalf("a and b are each assigned on only one branch; must-assigned at exit = %v", got)
+	}
+	if !got["c"] {
+		t.Fatalf("c is assigned before the branch; must-assigned at exit = %v", got)
+	}
+}
+
+func TestForwardBothBranchesAssign(t *testing.T) {
+	g := buildCFG(t, `
+	c := true
+	if c {
+		x := 1
+		_ = x
+	} else {
+		x := 2
+		_ = x
+	}`)
+	got := mustAssignedAtExit(t, g)
+	if !got["x"] {
+		t.Fatalf("x is assigned on both branches; must-assigned at exit = %v", got)
+	}
+}
+
+func TestForwardLoopConverges(t *testing.T) {
+	g := buildCFG(t, `
+	n := 10
+	for i := 0; i < n; i++ {
+		v := i
+		_ = v
+	}
+	_ = n`)
+	got := mustAssignedAtExit(t, g)
+	// v is only assigned inside the loop body, which may run zero times.
+	if got["v"] {
+		t.Fatalf("loop body may not run; must-assigned at exit = %v", got)
+	}
+	if !got["n"] {
+		t.Fatalf("n is assigned before the loop; must-assigned at exit = %v", got)
+	}
+}
+
+func TestDominators(t *testing.T) {
+	g := buildCFG(t, `
+	c := true
+	if c {
+		a := 1
+		_ = a
+	} else {
+		b := 2
+		_ = b
+	}
+	d := 3
+	_ = d`)
+	idom := g.Dominators()
+	entry := g.Blocks[0]
+	if idom[entry.Index] != entry {
+		t.Fatalf("entry block must dominate itself")
+	}
+	// Find the then, else and join blocks by their assigned variables.
+	byVar := map[string]*Block{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok {
+					byVar[id.Name] = b
+				}
+			}
+		}
+	}
+	then, els, join := byVar["a"], byVar["b"], byVar["d"]
+	if then == nil || els == nil || join == nil {
+		t.Fatalf("blocks not found: then=%v else=%v join=%v\n%s", then, els, join, g)
+	}
+	if !Dominates(idom, entry, join) {
+		t.Fatalf("entry must dominate the join block")
+	}
+	if Dominates(idom, then, join) || Dominates(idom, els, join) {
+		t.Fatalf("neither branch alone dominates the join block")
+	}
+	if idom[join.Index] != entry {
+		t.Fatalf("join's immediate dominator should be the branch block, got %d\n%s", idom[join.Index].Index, g)
+	}
+}
+
+func TestReversePostOrderStartsAtEntry(t *testing.T) {
+	g := buildCFG(t, "x := 1\nif x > 0 {\n\tx = 2\n}\n_ = x")
+	order := g.ReversePostOrder()
+	if len(order) == 0 || order[0] != g.Blocks[0] {
+		t.Fatalf("reverse post-order must start at the entry block")
+	}
+}

@@ -1,0 +1,210 @@
+// Forward dataflow over CFGs: a generic worklist solver plus the
+// reachability and dominance helpers flow-sensitive analyzers share.
+package lint
+
+// A Lattice describes one forward dataflow problem over facts of type
+// F. Facts must be treated as values: Transfer and Join return new
+// facts (or provably unaliased ones), never mutate their inputs.
+type Lattice[F any] interface {
+	// Entry is the fact holding at function entry.
+	Entry() F
+	// Join combines the facts of two predecessors at a merge point.
+	Join(a, b F) F
+	// Equal reports whether two facts carry the same information; the
+	// solver iterates until every block's input fact stops changing.
+	Equal(a, b F) bool
+	// Transfer computes the fact after executing block b with fact in.
+	Transfer(b *Block, in F) F
+}
+
+// Forward solves a forward dataflow problem on g, returning the fact
+// holding at the entry (in) and exit (out) of every reachable block.
+// Unreachable blocks are absent from both maps — their code cannot
+// execute, so no fact holds there. The worklist iterates in reverse
+// post-order, which converges in one pass for acyclic graphs and keeps
+// the iteration order deterministic for identical inputs.
+func Forward[F any](g *CFG, l Lattice[F]) (in, out map[*Block]F) {
+	if len(g.Blocks) == 0 {
+		return map[*Block]F{}, map[*Block]F{}
+	}
+	order := g.ReversePostOrder()
+	pos := make(map[*Block]int, len(order))
+	for i, b := range order {
+		pos[b] = i
+	}
+	in = make(map[*Block]F, len(order))
+	out = make(map[*Block]F, len(order))
+
+	entry := g.Blocks[0]
+	in[entry] = l.Entry()
+	out[entry] = l.Transfer(entry, in[entry])
+
+	// Iterate to a fixed point. The work queue holds block indexes into
+	// order (a deterministic total order); queued tracks membership.
+	queue := make([]int, 0, len(order))
+	queued := make([]bool, len(order))
+	push := func(b *Block) {
+		if i, ok := pos[b]; ok && !queued[i] {
+			queued[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for _, s := range entry.Succs {
+		push(s)
+	}
+	for len(queue) > 0 {
+		// Pop the earliest block in reverse post-order, so facts flow
+		// forward before back edges re-queue loop heads.
+		best := 0
+		for i := 1; i < len(queue); i++ {
+			if queue[i] < queue[best] {
+				best = i
+			}
+		}
+		bi := queue[best]
+		queue[best] = queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		queued[bi] = false
+		b := order[bi]
+
+		// Join the facts of predecessors solved so far.
+		var fact F
+		have := false
+		for _, p := range g.Blocks {
+			for _, s := range p.Succs {
+				if s == b {
+					if po, ok := out[p]; ok {
+						if !have {
+							fact, have = po, true
+						} else {
+							fact = l.Join(fact, po)
+						}
+					}
+				}
+			}
+		}
+		if !have {
+			continue // all predecessors still unsolved; a successor edge will re-queue
+		}
+		if prev, ok := in[b]; ok && l.Equal(prev, fact) {
+			continue
+		}
+		in[b] = fact
+		out[b] = l.Transfer(b, fact)
+		for _, s := range b.Succs {
+			push(s)
+		}
+	}
+	return in, out
+}
+
+// ReversePostOrder returns the blocks reachable from the entry in
+// reverse post-order of a depth-first traversal: every block appears
+// before its successors except along back edges.
+func (g *CFG) ReversePostOrder() []*Block {
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+		post = append(post, b)
+	}
+	visit(g.Blocks[0])
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Reachable reports which blocks are reachable from the entry, indexed
+// by Block.Index.
+func (g *CFG) Reachable() []bool {
+	seen := make([]bool, len(g.Blocks))
+	for _, b := range g.ReversePostOrder() {
+		seen[b.Index] = true
+	}
+	return seen
+}
+
+// Dominators computes the immediate dominator of every reachable block
+// (Cooper–Harvey–Kennedy), indexed by Block.Index. The entry block's
+// immediate dominator is itself; unreachable blocks map to nil. Block d
+// dominates b iff d is on b's idom chain up to the entry.
+func (g *CFG) Dominators() []*Block {
+	idom := make([]*Block, len(g.Blocks))
+	order := g.ReversePostOrder()
+	if len(order) == 0 {
+		return idom
+	}
+	rpo := make(map[*Block]int, len(order))
+	for i, b := range order {
+		rpo[b] = i
+	}
+	preds := make([][]*Block, len(g.Blocks))
+	for _, p := range order {
+		for _, s := range p.Succs {
+			preds[s.Index] = append(preds[s.Index], p)
+		}
+	}
+	entry := g.Blocks[0]
+	idom[entry.Index] = entry
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for rpo[a] > rpo[b] {
+				a = idom[a.Index]
+			}
+			for rpo[b] > rpo[a] {
+				b = idom[b.Index]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order[1:] {
+			var newIdom *Block
+			for _, p := range preds[b.Index] {
+				if idom[p.Index] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b.Index] != newIdom {
+				idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether block d dominates block b under the idom
+// tree returned by Dominators.
+func Dominates(idom []*Block, d, b *Block) bool {
+	if d == nil || b == nil {
+		return false
+	}
+	for {
+		if b == d {
+			return true
+		}
+		next := idom[b.Index]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}

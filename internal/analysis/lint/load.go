@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked target package.
@@ -37,13 +38,72 @@ type listedPkg struct {
 	CgoFiles   []string
 }
 
+// stdCache is the process-wide memo of standard-library export data.
+// Std packages are immutable for the life of a process (one toolchain,
+// one build cache), so once any load has listed a std package — and,
+// because goList always passes -deps, its entire import closure — every
+// later load can reuse the paths without shelling out to `go list`
+// again. This is what turns a lintest-heavy test binary from one
+// `go list` per test case into one per *distinct* std import set:
+// ListExports short-circuits entirely when every requested pattern is a
+// cached std package. Module packages are never cached: their export
+// data depends on the module root (lintest scratch modules redefine
+// repro/* paths), so they are re-listed per call.
+var stdCache = struct {
+	sync.Mutex
+	// listed marks std import paths whose transitive closure is in paths.
+	listed map[string]bool
+	// paths maps every std import path seen so far to its export file.
+	paths map[string]string
+}{listed: map[string]bool{}, paths: map[string]string{}}
+
+// cacheStd memoizes the std packages of one go list result.
+func cacheStd(requested []string, pkgs []listedPkg) {
+	stdCache.Lock()
+	defer stdCache.Unlock()
+	std := map[string]bool{}
+	for _, p := range pkgs {
+		if p.Standard && p.Export != "" {
+			stdCache.paths[p.ImportPath] = p.Export
+			std[p.ImportPath] = true
+		}
+	}
+	// A requested std pattern now has its whole closure cached (-deps
+	// lists it); only those patterns may skip go list next time.
+	for _, r := range requested {
+		if std[r] {
+			stdCache.listed[r] = true
+		}
+	}
+}
+
+// stdCached returns a snapshot of every cached std export path when all
+// of patterns are cached std packages, or nil when any needs a real
+// `go list`. Returning the full snapshot (a superset of the requested
+// closure) is deliberate: the importer looks paths up lazily and
+// ignores entries it never asks for.
+func stdCached(patterns []string) map[string]string {
+	stdCache.Lock()
+	defer stdCache.Unlock()
+	for _, p := range patterns {
+		if !stdCache.listed[p] {
+			return nil
+		}
+	}
+	out := make(map[string]string, len(stdCache.paths))
+	for k, v := range stdCache.paths {
+		out[k] = v
+	}
+	return out
+}
+
 // goList runs `go list -export -deps -json` for patterns in dir and
 // decodes the package stream. -export makes the go tool compile (or
 // reuse from the build cache) every listed package and report the path
 // of its export data, which is what lets the loader type-check targets
 // against the exact compiled form of their dependencies — std library
 // included — with no module downloads and no source re-checking of the
-// whole dependency graph.
+// whole dependency graph. Std results feed stdCache as a side effect.
 func goList(dir string, patterns ...string) ([]listedPkg, error) {
 	args := append([]string{
 		"list", "-export", "-deps",
@@ -68,13 +128,19 @@ func goList(dir string, patterns ...string) ([]listedPkg, error) {
 		}
 		pkgs = append(pkgs, p)
 	}
+	cacheStd(patterns, pkgs)
 	return pkgs, nil
 }
 
 // ListExports returns the import-path → export-data-file map for
 // patterns (transitively), resolved module-aware from dir. lintest uses
-// it to satisfy testdata packages' std library imports.
+// it to satisfy testdata packages' std library imports; when every
+// pattern is an already-cached std package the call answers from
+// stdCache without running `go list` at all.
 func ListExports(dir string, patterns ...string) (map[string]string, error) {
+	if cached := stdCached(patterns); cached != nil {
+		return cached, nil
+	}
 	pkgs, err := goList(dir, patterns...)
 	if err != nil {
 		return nil, err

@@ -31,10 +31,21 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
-	"testing"
 
 	"repro/internal/analysis/lint"
 )
+
+// TB is the subset of testing.TB the harness needs. Taking the
+// interface instead of *testing.T lets the harness itself be tested:
+// the meta-test hands Run a recording fake and asserts that stale
+// expectations and surprise diagnostics actually fail. Fatal callers
+// must be able to return normally (a fake records instead of aborting),
+// so Run guards every Fatal with an explicit return.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatal(args ...any)
+}
 
 // wantRe matches one quoted regexp in a want comment's payload.
 var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
@@ -51,19 +62,22 @@ type expectation struct {
 
 // Run loads dir as a package named pkgPath, applies a, and compares
 // diagnostics against the // want and // want-suppressed comments.
-func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath string) {
+func Run(t TB, a *lint.Analyzer, dir, pkgPath string) {
 	t.Helper()
 	pkg, err := loadDir(dir, pkgPath)
 	if err != nil {
 		t.Fatal(err)
+		return
 	}
 	res, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
 	if err != nil {
 		t.Fatal(err)
+		return
 	}
 	wants, err := expectations(pkg.Fset, pkg.Files)
 	if err != nil {
 		t.Fatal(err)
+		return
 	}
 	match := func(d lint.Diagnostic, suppressed bool) bool {
 		for _, w := range wants {

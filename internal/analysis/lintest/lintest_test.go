@@ -1,0 +1,106 @@
+package lintest
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/lint"
+)
+
+// fakeTB records the harness's verdicts so the meta-test can assert on
+// them. Fatal records and returns — Run guards every Fatal call with an
+// explicit return, so recording is enough to stop the harness.
+type fakeTB struct {
+	errs   []string
+	fatals []string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errs = append(f.errs, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Fatal(args ...any) {
+	f.fatals = append(f.fatals, fmt.Sprint(args...))
+}
+
+// reportFuncs flags every function declaration whose name matches one
+// of names ("*" for all) — a controllable diagnostic source for
+// exercising the harness itself.
+func reportFuncs(names ...string) *lint.Analyzer {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	return &lint.Analyzer{
+		Name: "metafixture",
+		Doc:  "meta-test fixture: reports selected function declarations",
+		Run: func(pass *lint.Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					if want["*"] || want[fd.Name.Name] {
+						pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// TestHarnessPassesWhenAligned is the positive control: diagnostics and
+// expectations line up exactly, so the fake records nothing.
+func TestHarnessPassesWhenAligned(t *testing.T) {
+	ft := &fakeTB{}
+	Run(ft, reportFuncs("Flagged"), "testdata/meta", "repro/internal/meta")
+	if len(ft.errs) != 0 || len(ft.fatals) != 0 {
+		t.Errorf("aligned run should be clean, got errs=%q fatals=%q", ft.errs, ft.fatals)
+	}
+}
+
+// TestNeverFiringWantFails pins the harness's core guarantee: a // want
+// comment that no diagnostic matches — an analyzer gone blind — fails
+// the run rather than passing vacuously.
+func TestNeverFiringWantFails(t *testing.T) {
+	ft := &fakeTB{}
+	Run(ft, reportFuncs(), "testdata/meta", "repro/internal/meta")
+	if len(ft.errs) != 1 {
+		t.Fatalf("want exactly one failure for the unmatched expectation, got %q", ft.errs)
+	}
+	if !strings.Contains(ft.errs[0], "expected diagnostic matching") ||
+		!strings.Contains(ft.errs[0], "func Flagged") {
+		t.Errorf("failure should name the unmatched expectation, got %q", ft.errs[0])
+	}
+}
+
+// TestUnexpectedDiagnosticFails: a diagnostic with no matching want —
+// a false positive the fixture did not sanction — must also fail.
+func TestUnexpectedDiagnosticFails(t *testing.T) {
+	ft := &fakeTB{}
+	Run(ft, reportFuncs("*"), "testdata/meta", "repro/internal/meta")
+	if len(ft.errs) != 1 {
+		t.Fatalf("want exactly one failure for the surprise diagnostic, got %q", ft.errs)
+	}
+	if !strings.Contains(ft.errs[0], "unexpected diagnostic") ||
+		!strings.Contains(ft.errs[0], "func Also") {
+		t.Errorf("failure should name the surprise diagnostic, got %q", ft.errs[0])
+	}
+}
+
+// TestBadWantRegexpIsFatal: a malformed expectation regexp must abort
+// the fixture, not silently drop the expectation.
+func TestBadWantRegexpIsFatal(t *testing.T) {
+	ft := &fakeTB{}
+	Run(ft, reportFuncs(), "testdata/badre", "repro/internal/badre")
+	if len(ft.fatals) != 1 {
+		t.Fatalf("want one fatal for the bad regexp, got fatals=%q errs=%q", ft.fatals, ft.errs)
+	}
+	if !strings.Contains(ft.fatals[0], "bad want regexp") {
+		t.Errorf("fatal should identify the bad regexp, got %q", ft.fatals[0])
+	}
+}

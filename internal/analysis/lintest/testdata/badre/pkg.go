@@ -1,0 +1,6 @@
+// Package badre carries a want comment whose regexp does not compile;
+// the harness must refuse the whole fixture rather than silently skip
+// the expectation.
+package badre
+
+func F() {} // want "(unclosed"

@@ -1,0 +1,10 @@
+// Package meta is the lintest meta-test fixture. Its want comment is
+// deliberately run against mismatched analyzers to prove the harness
+// fails in both directions: an expectation nothing fires (the analyzer
+// went blind) and a diagnostic nothing expected (the analyzer grew a
+// false positive).
+package meta
+
+func Flagged() {} // want "func Flagged"
+
+func Also() {}

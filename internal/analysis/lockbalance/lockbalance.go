@@ -1,0 +1,169 @@
+// Package lockbalance proves, per function, that every mutex acquired
+// is released on every path out of the function — early returns and
+// panic exits included — by solving the lock-state dataflow problem
+// over the function's control-flow graph (internal/analysis/lint's CFG
+// + forward solver). It is the flow-sensitive complement to -race: the
+// race detector observes executions, this analyzer covers paths the
+// tests never take.
+//
+// Three violation shapes are reported:
+//
+//   - a path out of the function (a return, a fall-off-the-end, or a
+//     panic not covered by a deferred Unlock) on which the mutex is
+//     still — or may still be — held;
+//   - a second Lock of a mutex already held on the path (self-deadlock:
+//     sync.Mutex is not reentrant);
+//   - an Unlock of a mutex not locked on the path, in a function that
+//     locks it elsewhere (a fatal "unlock of unlocked mutex" at
+//     runtime). Functions that only ever unlock are out of scope: they
+//     release a caller's lock by contract, which this per-function
+//     analysis cannot see.
+//
+// Lock identity is the receiver's root variable plus field chain
+// ("c.mu"), resolved through the type checker; receivers with no
+// stable per-function name (map/slice elements, call results) are not
+// tracked. Function literals are analyzed as functions of their own:
+// a lock taken inside a closure must balance inside the closure.
+// Deferred releases — `defer mu.Unlock()` directly or inside a
+// deferred literal — cover every exit they are registered before,
+// panics included.
+//
+// A function that intentionally returns holding a lock (a locking
+// accessor handing ownership to its caller) carries a justified
+// //lint:lockbalance directive.
+package lockbalance
+
+import (
+	"go/ast"
+	"sort"
+
+	"repro/internal/analysis/lint"
+	"repro/internal/analysis/lockset"
+)
+
+// Analyzer is the lockbalance check.
+var Analyzer = &lint.Analyzer{
+	Name: "lockbalance",
+	Doc: "flag mutexes not released on every path out of a function " +
+		"(early returns and panics included), double-Lock on a path, and Unlock of an unheld mutex",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunc(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc solves the lock-state flow problem for one function body
+// and reports the three violation shapes. Nested function literals are
+// skipped here (the walk in run visits them as their own functions).
+func checkFunc(pass *lint.Pass, body *ast.BlockStmt) {
+	flow := lockset.NewFlow(pass.TypesInfo)
+	g := lint.NewCFG(body)
+	in, out := lint.Forward[lockset.Fact](g, flow)
+	if len(flow.Meta) == 0 {
+		return
+	}
+
+	// The unlock-of-unheld report is scoped to keys the function also
+	// acquires somewhere (see package doc); flow.Acquired is that set.
+	locksOf := flow.Acquired
+
+	// Reporting sweep: re-apply each reachable block's transfer on its
+	// stabilized input fact, visiting every operation with its before
+	// state.
+	for _, b := range g.Blocks {
+		fact, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		fact = clone(fact)
+		for _, n := range b.Nodes {
+			flow.Apply(n, &fact, func(op lockset.Op, before lockset.Hold, held bool) {
+				display := op.Path + "." + op.Kind.String()
+				switch {
+				case op.Kind.Acquires() && held && !before.Maybe:
+					pass.Reportf(op.Call.Pos(),
+						"%s() while %s is already held on this path (acquired at %s); sync mutexes are not reentrant",
+						display, op.Path, pass.Fset.Position(before.Pos))
+				case !op.Kind.Acquires() && !held && hasKey(locksOf, op.Kind.Key(op.Path)):
+					if !fact.Deferred[op.Kind.Key(op.Path)] {
+						pass.Reportf(op.Call.Pos(),
+							"%s() but %s is not locked on this path (fatal \"unlock of unlocked mutex\" at runtime)",
+							display, op.Path)
+					}
+				}
+			})
+		}
+	}
+
+	// Exit sweep: any key still (maybe) held at an exit block, without a
+	// deferred release covering it, escapes the function locked. Report
+	// once per key, at its acquisition site.
+	type escape struct {
+		key   string
+		maybe bool
+	}
+	reported := map[string]bool{}
+	var escapes []escape
+	for _, b := range g.Exits() {
+		fact, ok := out[b]
+		if !ok {
+			continue // unreachable exit (dead code after return)
+		}
+		for key, hold := range fact.Held {
+			if fact.Deferred[key] || reported[key] {
+				continue
+			}
+			reported[key] = true
+			escapes = append(escapes, escape{key: key, maybe: hold.Maybe})
+		}
+	}
+	sort.Slice(escapes, func(i, j int) bool { return escapes[i].key < escapes[j].key })
+	for _, e := range escapes {
+		// Anchor the report at the representative acquisition site; a key
+		// held at exit was necessarily acquired, so the lookup succeeds.
+		op, ok := flow.Acquired[e.key]
+		if !ok {
+			op = flow.Meta[e.key]
+		}
+		display := op.Path + "." + op.Kind.String()
+		if e.maybe {
+			pass.Reportf(op.Call.Pos(),
+				"%s() is released on some paths out of the function but not all; add the missing release or a defer",
+				display)
+		} else {
+			pass.Reportf(op.Call.Pos(),
+				"%s() is not released on every path out of the function; pair it with an Unlock or defer on each exit",
+				display)
+		}
+	}
+}
+
+func hasKey(m map[string]lockset.Op, key string) bool {
+	_, ok := m[key]
+	return ok
+}
+
+func clone(f lockset.Fact) lockset.Fact {
+	out := lockset.Fact{Held: map[string]lockset.Hold{}, Deferred: map[string]bool{}}
+	for k, v := range f.Held {
+		out.Held[k] = v
+	}
+	for k := range f.Deferred {
+		out.Deferred[k] = true
+	}
+	return out
+}

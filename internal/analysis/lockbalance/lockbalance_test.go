@@ -1,0 +1,18 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/lintest"
+	"repro/internal/analysis/lockbalance"
+)
+
+// TestLockBalance runs the analyzer over the seeded shapes: leaked
+// locks (early return, maybe-paths, panic exits, closures, read side
+// of an RWMutex), double-Lock, unlock-of-unlocked, a suppressed
+// ownership handoff — and the idiomatic patterns (defer, per-path
+// unlock, deferred closure, Abandon-style conditional release, loops)
+// that must pass silently.
+func TestLockBalance(t *testing.T) {
+	lintest.Run(t, lockbalance.Analyzer, "testdata/pkg", "repro/internal/locktest")
+}

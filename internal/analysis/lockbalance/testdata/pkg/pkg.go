@@ -1,0 +1,173 @@
+// Seeded lock-balance shapes: each // want line is a violation the
+// analyzer must flag, everything else is an idiomatic pattern it must
+// stay silent on.
+package locktest
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Violation: the early return leaks the lock.
+func (c *counter) leakOnEarlyReturn(fail bool) bool {
+	c.mu.Lock() // want "c.mu.Lock\(\) is not released on every path"
+	if fail {
+		return false
+	}
+	c.mu.Unlock()
+	return true
+}
+
+// Violation: falling off the end may leave the lock held.
+func (c *counter) maybeLeak(cond bool) {
+	c.mu.Lock() // want "released on some paths out of the function but not all"
+	if cond {
+		c.mu.Unlock()
+	}
+}
+
+// Violation: sync.Mutex is not reentrant.
+func (c *counter) doubleLock() {
+	c.mu.Lock()
+	c.mu.Lock() // want "sync mutexes are not reentrant"
+	c.mu.Unlock()
+}
+
+// Violation: unlock before any lock, in a function that locks later.
+func (c *counter) unlockFirst() {
+	c.mu.Unlock() // want "c.mu is not locked on this path"
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// Violation: a panic exit not covered by a deferred unlock.
+func (c *counter) panicPath(v int) {
+	c.mu.Lock() // want "not released on every path"
+	if v < 0 {
+		panic("negative")
+	}
+	c.n = v
+	c.mu.Unlock()
+}
+
+// Violation inside a function literal: closures balance on their own.
+var leaky = func(c *counter) {
+	c.mu.Lock() // want "not released on every path"
+}
+
+// Suppressed: a locking accessor that hands ownership to its caller.
+func (c *counter) lockAndGet() *int {
+	//lint:lockbalance ownership transfers to the caller, released by putBack
+	c.mu.Lock() // want-suppressed "not released on every path"
+	return &c.n
+}
+
+func (c *counter) putBack() {
+	//lint:lockbalance releases the lock lockAndGet handed to the caller
+	c.mu.Unlock()
+}
+
+// --- Idiomatic shapes the analyzer must accept silently. ---
+
+// The canonical defer covers every exit, panics included.
+func (c *counter) deferred(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v < 0 {
+		panic("negative")
+	}
+	c.n = v
+}
+
+// Explicit unlock on each path out.
+func (c *counter) eachPath(cond bool) int {
+	c.mu.Lock()
+	if cond {
+		n := c.n
+		c.mu.Unlock()
+		return n
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// Unlock inside a deferred function literal.
+func (c *counter) deferredClosure() {
+	c.mu.Lock()
+	defer func() {
+		c.n = 0
+		c.mu.Unlock()
+	}()
+	c.n++
+}
+
+// Conditional release then return, re-release on the main path — the
+// shape of simcache's Abandon.
+func (c *counter) abandonStyle(stop bool) {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// A defer registered after a lock-free early return.
+func (c *counter) lateDefer(skip bool) {
+	if skip {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Lock and unlock balanced inside a loop body.
+func (c *counter) loop(xs []int) {
+	for _, x := range xs {
+		c.mu.Lock()
+		c.n += x
+		c.mu.Unlock()
+	}
+}
+
+// A closure returned by a method balances independently of the method.
+func (c *counter) spawn() func() {
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// The read and write sides of an RWMutex are independent states.
+func (t *table) get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) set(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[k] = v
+}
+
+// Violation: the not-found return leaks the read lock.
+func (t *table) leakRead(k string) (int, bool) {
+	t.mu.RLock() // want "t.mu.RLock\(\) is not released on every path"
+	v, ok := t.m[k]
+	if !ok {
+		return 0, false
+	}
+	t.mu.RUnlock()
+	return v, true
+}

@@ -1,0 +1,17 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/lintest"
+	"repro/internal/analysis/lockorder"
+)
+
+// TestLockOrder runs the analyzer over the seeded shapes, type-checked
+// under an in-scope import path: an A/B cycle (one edge direct, one
+// via a call) must be reported on both edges, a justified C/D cycle
+// must be fully suppressed, and consistently ordered E/F pairs plus
+// same-class lock coupling must stay silent.
+func TestLockOrder(t *testing.T) {
+	lintest.Run(t, lockorder.Analyzer, "testdata/pkg", "repro/internal/simcache")
+}

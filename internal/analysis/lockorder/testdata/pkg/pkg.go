@@ -1,0 +1,111 @@
+// Seeded lock-order shapes, type-checked under an in-scope import
+// path. A and B form an unordered (cyclic) pair — one edge direct, one
+// through a call — C and D form a justified, suppressed cycle, and E/F
+// are consistently ordered and must stay silent.
+package ordertest
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ab acquires B under A: the A -> B edge.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "A.mu is held while acquiring .*B.mu, closing a lock-order cycle"
+	b.n++
+	b.mu.Unlock()
+}
+
+// ba acquires A under B through a call: the B -> A edge closing the
+// cycle, reported at the call site with the callee named.
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bumpA(a) // want "B.mu is held while acquiring .*A.mu \(via call to .*bumpA\), closing a lock-order cycle"
+}
+
+func bumpA(a *A) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+// cd and dc form a cycle on purpose; both edges carry justified
+// directives, so the cycle is fully suppressed.
+func cd(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//lint:lockorder startup-only path, provably never concurrent with dc
+	d.mu.Lock() // want-suppressed "C.mu is held while acquiring .*D.mu"
+	d.n++
+	d.mu.Unlock()
+}
+
+func dc(c *C, d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	//lint:lockorder shutdown-only path, provably never concurrent with cd
+	c.mu.Lock() // want-suppressed "D.mu is held while acquiring .*C.mu"
+	c.n++
+	c.mu.Unlock()
+}
+
+type E struct {
+	mu sync.Mutex
+	n  int
+}
+
+type F struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ef and ef2 agree on the E-before-F order: an edge, but no cycle.
+func ef(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	f.n++
+	f.mu.Unlock()
+}
+
+func ef2(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bumpF(f)
+}
+
+func bumpF(f *F) {
+	f.mu.Lock()
+	f.n++
+	f.mu.Unlock()
+}
+
+// nested lock coupling on one class is out of scope (instances are
+// indistinguishable): no self-edge, no report.
+func couple(x, y *E) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	y.n = x.n
+	y.mu.Unlock()
+}

@@ -1,0 +1,217 @@
+// The lock-state dataflow problem: which mutexes are held at each
+// point of one function, solved over lint's CFG by the generic forward
+// solver. lockbalance reports on the states directly; lockorder reads
+// the held set at every call site to build its acquisition graph.
+package lockset
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/lint"
+)
+
+// A Hold is one lock key's state on the current path.
+type Hold struct {
+	// Maybe marks a lock held on some but not all paths reaching this
+	// point (the join of a locked and an unlocked predecessor).
+	Maybe bool
+	// Pos is the earliest acquisition site establishing the hold.
+	Pos token.Pos
+}
+
+// A Fact is the lock state at one program point: the held keys plus
+// the keys a reached defer statement will release on function exit.
+type Fact struct {
+	Held     map[string]Hold
+	Deferred map[string]bool
+}
+
+func cloneFact(f Fact) Fact {
+	out := Fact{Held: make(map[string]Hold, len(f.Held)), Deferred: make(map[string]bool, len(f.Deferred))}
+	for k, v := range f.Held {
+		out.Held[k] = v
+	}
+	for k := range f.Deferred {
+		out.Deferred[k] = true
+	}
+	return out
+}
+
+// Flow is the lattice. Meta accumulates one representative Op per key
+// seen anywhere in the function (keys are constant per function, so
+// collecting them during transfer is safe across solver iterations);
+// Acquired records the keys the function Locks or RLocks somewhere,
+// with a representative acquisition site.
+type Flow struct {
+	Info     *types.Info
+	Meta     map[string]Op
+	Acquired map[string]Op
+}
+
+// NewFlow builds the lattice for one function's body.
+func NewFlow(info *types.Info) *Flow {
+	return &Flow{Info: info, Meta: map[string]Op{}, Acquired: map[string]Op{}}
+}
+
+// Entry implements lint.Lattice: no locks held at function entry.
+func (fl *Flow) Entry() Fact {
+	return Fact{Held: map[string]Hold{}, Deferred: map[string]bool{}}
+}
+
+// Join implements lint.Lattice: a key held on only one side becomes
+// Maybe; deferred releases survive a join only when registered on both
+// sides (a defer on one path does not cover the other).
+func (fl *Flow) Join(a, b Fact) Fact {
+	out := Fact{Held: map[string]Hold{}, Deferred: map[string]bool{}}
+	for k, ha := range a.Held {
+		if hb, ok := b.Held[k]; ok {
+			h := Hold{Maybe: ha.Maybe || hb.Maybe, Pos: ha.Pos}
+			if hb.Pos < h.Pos {
+				h.Pos = hb.Pos
+			}
+			out.Held[k] = h
+		} else {
+			out.Held[k] = Hold{Maybe: true, Pos: ha.Pos}
+		}
+	}
+	for k, hb := range b.Held {
+		if _, ok := a.Held[k]; !ok {
+			out.Held[k] = Hold{Maybe: true, Pos: hb.Pos}
+		}
+	}
+	for k := range a.Deferred {
+		if b.Deferred[k] {
+			out.Deferred[k] = true
+		}
+	}
+	return out
+}
+
+// Equal implements lint.Lattice.
+func (fl *Flow) Equal(a, b Fact) bool {
+	if len(a.Held) != len(b.Held) || len(a.Deferred) != len(b.Deferred) {
+		return false
+	}
+	for k, ha := range a.Held {
+		hb, ok := b.Held[k]
+		if !ok || ha != hb {
+			return false
+		}
+	}
+	for k := range a.Deferred {
+		if !b.Deferred[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transfer implements lint.Lattice.
+func (fl *Flow) Transfer(b *lint.Block, in Fact) Fact {
+	out := cloneFact(in)
+	for _, n := range b.Nodes {
+		fl.Apply(n, &out, nil)
+	}
+	return out
+}
+
+// Apply mutates fact with one node's lock operations, in source order.
+// When visit is non-nil it is called for every recognized operation
+// with the state the lock was in immediately before the operation —
+// the hook the reporting sweep uses after the solve stabilizes.
+func (fl *Flow) Apply(n ast.Node, fact *Fact, visit func(op Op, before Hold, held bool)) {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		for _, op := range fl.deferredReleases(d) {
+			key := op.Kind.Key(op.Path)
+			fl.meta(key, op)
+			fact.Deferred[key] = true
+		}
+		return
+	}
+	for _, call := range Calls(n) {
+		op, ok := MutexOp(fl.Info, call)
+		if !ok || op.Path == "" {
+			continue
+		}
+		key := op.Kind.Key(op.Path)
+		fl.meta(key, op)
+		before, held := fact.Held[key]
+		if visit != nil {
+			visit(op, before, held)
+		}
+		if op.Kind.Acquires() {
+			if !held {
+				fact.Held[key] = Hold{Pos: call.Pos()}
+			}
+		} else {
+			delete(fact.Held, key)
+		}
+	}
+}
+
+func (fl *Flow) meta(key string, op Op) {
+	if _, ok := fl.Meta[key]; !ok {
+		fl.Meta[key] = op
+	}
+	if op.Kind.Acquires() {
+		if _, ok := fl.Acquired[key]; !ok {
+			fl.Acquired[key] = op
+		}
+	}
+}
+
+// deferredReleases collects the release operations a defer statement
+// registers: a directly deferred Unlock/RUnlock, or releases inside a
+// deferred function literal.
+func (fl *Flow) deferredReleases(d *ast.DeferStmt) []Op {
+	var out []Op
+	collect := func(call *ast.CallExpr) {
+		if op, ok := MutexOp(fl.Info, call); ok && op.Path != "" && !op.Kind.Acquires() {
+			out = append(out, op)
+		}
+	}
+	collect(d.Call)
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		for _, call := range Calls(lit.Body) {
+			collect(call)
+		}
+	}
+	return out
+}
+
+// Calls returns the call expressions n itself executes, in source
+// order. Nested function literals and go statements are skipped (their
+// code does not run on the current path), and compound statements the
+// CFG places in blocks as anchors (range, switch, select) contribute
+// only their shallow operation — their bodies live in other blocks, so
+// descending here would misattribute body calls to the anchor's block.
+func Calls(n ast.Node) []*ast.CallExpr {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		return Calls(n.X)
+	case *ast.SwitchStmt:
+		if n.Tag == nil {
+			return nil
+		}
+		return Calls(n.Tag)
+	case *ast.TypeSwitchStmt:
+		return Calls(n.Assign)
+	case *ast.SelectStmt:
+		return nil
+	case nil:
+		return nil
+	}
+	var out []*ast.CallExpr
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,235 @@
+// Package lockset is the shared vocabulary of the concurrency-contract
+// analyzers (lockbalance, lockorder, gorolife): it recognizes calls to
+// the sync package's mutex and WaitGroup methods through the type
+// checker, and assigns each mutex two identities —
+//
+//   - a function-local path ("c.mu", "s.admitMu"): the root variable
+//     plus the field chain, the unit lockbalance tracks along one
+//     function's control-flow paths;
+//   - a program-wide class ("repro/internal/simcache.Cache.mu"): the
+//     declaring package, type and field, the node lockorder's
+//     inter-procedural acquisition graph is built over. Every instance
+//     of a type shares its fields' classes on purpose — lock ordering
+//     is a contract between code paths, not between heap objects.
+//
+// Identification is semantic (types.Info), never textual: aliased
+// imports, embedded fields and generic instantiations resolve to the
+// same classes.
+package lockset
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// OpKind is one mutex operation.
+type OpKind int
+
+const (
+	Lock OpKind = iota
+	Unlock
+	RLock
+	RUnlock
+)
+
+// String renders the method name.
+func (k OpKind) String() string {
+	switch k {
+	case Lock:
+		return "Lock"
+	case Unlock:
+		return "Unlock"
+	case RLock:
+		return "RLock"
+	case RUnlock:
+		return "RUnlock"
+	}
+	return "?"
+}
+
+// Acquires reports whether the operation takes the mutex (Lock/RLock).
+func (k OpKind) Acquires() bool { return k == Lock || k == RLock }
+
+// Key returns the lock-state key the operation works on: the exclusive
+// (Lock/Unlock) and shared (RLock/RUnlock) sides of one RWMutex are
+// independent states.
+func (k OpKind) Key(path string) string {
+	if k == RLock || k == RUnlock {
+		return "r:" + path
+	}
+	return "w:" + path
+}
+
+// An Op is one recognized mutex method call.
+type Op struct {
+	Kind OpKind
+	Call *ast.CallExpr
+	// Recv is the mutex-valued receiver expression.
+	Recv ast.Expr
+	// Path is the function-local identity ("c.mu"); empty when the
+	// receiver is too dynamic to name (map/slice element, call result).
+	Path string
+	// Root is the object Path is rooted at (a parameter, receiver or
+	// local/package variable), nil when Path is empty.
+	Root types.Object
+	// Class is the program-wide identity
+	// ("repro/internal/simcache.Cache.mu" for fields,
+	// "repro/internal/foo.globalMu" for package vars); empty for locks
+	// that have no stable declaration site (locals, unnamed structs).
+	Class string
+}
+
+// MutexOp recognizes call as a sync.Mutex / sync.RWMutex method call.
+func MutexOp(info *types.Info, call *ast.CallExpr) (Op, bool) {
+	recv, typeName, method, ok := syncMethod(info, call)
+	if !ok || (typeName != "Mutex" && typeName != "RWMutex") {
+		return Op{}, false
+	}
+	var kind OpKind
+	switch method {
+	case "Lock":
+		kind = Lock
+	case "Unlock":
+		kind = Unlock
+	case "RLock":
+		kind = RLock
+	case "RUnlock":
+		kind = RUnlock
+	default:
+		return Op{}, false // TryLock and friends are not tracked
+	}
+	op := Op{Kind: kind, Call: call, Recv: recv}
+	op.Root, op.Path = pathOf(info, recv)
+	op.Class = classOf(info, recv)
+	return op, true
+}
+
+// WaitGroupDone recognizes call as sync.WaitGroup.Done (the reap signal
+// gorolife accepts), returning the WaitGroup receiver expression.
+func WaitGroupDone(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	recv, typeName, method, ok := syncMethod(info, call)
+	if !ok || typeName != "WaitGroup" || method != "Done" {
+		return nil, false
+	}
+	return recv, true
+}
+
+// syncMethod matches a method call whose resolved object is declared on
+// a sync-package type, returning the receiver expression, the type's
+// name and the method name. Embedded receivers resolve too (the
+// selection's object is still the sync method).
+func syncMethod(info *types.Info, call *ast.CallExpr) (recv ast.Expr, typeName, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", false
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return nil, "", "", false
+	}
+	fn, isFn := selection.Obj().(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", "", false
+	}
+	named, isNamed := deref(selection.Recv()).(*types.Named)
+	if !isNamed {
+		// Embedded in a local struct type: recv type is the outer struct;
+		// the method still belongs to sync, so name the type by the
+		// method's own receiver.
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() == nil {
+			return nil, "", "", false
+		}
+		named, isNamed = deref(sig.Recv().Type()).(*types.Named)
+		if !isNamed {
+			return nil, "", "", false
+		}
+	}
+	// The selection may land on an embedded sync type; the method's own
+	// receiver names the sync type either way.
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		if n, is := deref(sig.Recv().Type()).(*types.Named); is {
+			named = n
+		}
+	}
+	return sel.X, named.Obj().Name(), fn.Name(), true
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// pathOf names a receiver expression as a root object plus a field
+// chain: "mu", "c.mu", "s.cache.mu". Dynamic receivers (indexing,
+// calls, composite literals) have no stable per-function identity and
+// return ("", nil).
+func pathOf(info *types.Info, e ast.Expr) (types.Object, string) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return nil, ""
+		}
+		return obj, e.Name
+	case *ast.SelectorExpr:
+		root, prefix := pathOf(info, e.X)
+		if root == nil {
+			return nil, ""
+		}
+		return root, prefix + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return pathOf(info, e.X)
+	}
+	return nil, ""
+}
+
+// classOf names a receiver expression's program-wide lock class: the
+// declaring package, type and field of the final selector, or the
+// package and name of a package-level variable. Locks without a stable
+// declaration site (locals, fields of unnamed structs, dynamic
+// receivers) return "".
+func classOf(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return ""
+		}
+		// Package-level mutex variable.
+		if v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return ""
+	case *ast.SelectorExpr:
+		// The field's class is its receiver's named type plus the field
+		// name. Instantiated generics resolve to their origin type, so
+		// Cache[A, B].mu and Cache[C, D].mu are one class.
+		t := info.TypeOf(e.X)
+		if t == nil {
+			return ""
+		}
+		named, ok := deref(t).(*types.Named)
+		if !ok {
+			return ""
+		}
+		tn := named.Obj()
+		if tn.Pkg() == nil {
+			return ""
+		}
+		return tn.Pkg().Path() + "." + tn.Name() + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return classOf(info, e.X)
+	}
+	return ""
+}

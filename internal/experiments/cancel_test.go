@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/leakcheck"
 	"repro/internal/simcache"
 	"repro/internal/workload"
 )
@@ -35,6 +36,7 @@ func waitDrained(t *testing.T, s *Session) simcache.Stats {
 // cancellation error instead of hanging, and the keys become free to
 // recompute.
 func TestCanceledCellsNeverSimulate(t *testing.T) {
+	defer leakcheck.Check(t)
 	o := tinyOptions()
 	o.Workers = 1
 	s := mustSession(t, o)
@@ -114,6 +116,7 @@ func TestCanceledScenarioLeavesSessionDeterministic(t *testing.T) {
 // queue drains without simulating every cell (the grid is far larger
 // than what can start during the cancellation window).
 func TestCancelMidSweepDrains(t *testing.T) {
+	defer leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("harness run")
 	}

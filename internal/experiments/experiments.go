@@ -342,6 +342,7 @@ func (s *Session) dispatch(requester string, j job) {
 	s.scheduler.Push(sched.Job[job]{Requester: requester, Cells: len(j.cells), Payload: j})
 	if s.workers < s.maxWorkers {
 		s.workers++
+		//lint:gorolife bounded pool: s.workers accounts every spawn under s.mu, and work decrements it under s.mu before returning, so Close/tests observe drain via the counter
 		go s.work()
 	}
 	s.mu.Unlock()

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/leakcheck"
 	"repro/internal/scenario"
 	"repro/internal/workload"
 )
@@ -19,6 +20,7 @@ import (
 // always collect in a fixed order, so Workers must only change wall-clock
 // time.
 func TestParallelMatchesSequential(t *testing.T) {
+	defer leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("harness run")
 	}

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/leakcheck"
 )
 
 // drain pops every queued job with an immediate Done — a one-worker
@@ -199,6 +201,7 @@ func TestSnapshotAccounting(t *testing.T) {
 // TestEveryPushIsPopped is the no-lost-work contract over a mixed
 // population, both policies.
 func TestEveryPushIsPopped(t *testing.T) {
+	defer leakcheck.Check(t)
 	for _, policy := range Names() {
 		s := mustNew(t, policy)
 		want := map[string]int{}

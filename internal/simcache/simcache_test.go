@@ -8,9 +8,12 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/leakcheck"
 )
 
 func TestSingleComputationManyWaiters(t *testing.T) {
+	defer leakcheck.Check(t)
 	g := New[string, int](0, 0, nil)
 	var computed atomic.Int32
 	var wg sync.WaitGroup
@@ -180,6 +183,7 @@ func TestUnboundedNeverEvicts(t *testing.T) {
 // waiter alone — the computation and every other waiter are untouched,
 // and the fulfilled value still reaches anyone who stayed.
 func TestWaitCtxCancelIsPerWaiter(t *testing.T) {
+	defer leakcheck.Check(t)
 	g := New[string, int](0, 0, nil)
 	c, created := g.Begin("k")
 	if !created {
@@ -282,6 +286,7 @@ func TestAbandonRefusedWithoutContext(t *testing.T) {
 
 // TestConcurrentChurn exercises eviction racing Begin/Fulfill under -race.
 func TestConcurrentChurn(t *testing.T) {
+	defer leakcheck.Check(t)
 	g := New[int, int](8, 0, nil)
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {

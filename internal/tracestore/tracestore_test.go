@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/leakcheck"
 	"repro/internal/trace"
 )
 
@@ -72,6 +73,7 @@ func TestKeyIncludesAddressBases(t *testing.T) {
 }
 
 func TestConcurrentSingleflight(t *testing.T) {
+	defer leakcheck.Check(t)
 	s := New(0)
 	const n = 16
 	traces := make([]*trace.Trace, n)
